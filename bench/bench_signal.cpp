@@ -1,0 +1,126 @@
+// S-4 (supplementary) — producer/consumer notification: NIC remote-
+// completion ledger (put-with-notification) vs explicit notification
+// parcels, across chunk sizes. A 2-stage pipeline isolates the
+// notification path; the full multi-stage version is examples/pipeline.
+#include "common.hpp"
+
+namespace nvgas::bench {
+namespace {
+
+struct SignalResult {
+  sim::Time total = 0;
+  std::uint64_t parcels = 0;
+  std::uint64_t target_cpu_tasks = 0;
+};
+
+SignalResult run_stream(bool use_signal, std::uint32_t chunk_bytes,
+                        std::uint32_t chunks) {
+  Config cfg = Config::with_nodes(2, GasMode::kAgasNet);
+  cfg.machine.mem_bytes_per_node = 64u << 20;
+  World world(cfg);
+
+  constexpr int kSlots = 4;
+  std::vector<std::unique_ptr<rt::Event>> arrival(chunks);
+  std::vector<std::unique_ptr<rt::Event>> credit(chunks);
+  std::vector<rt::LcoRef> arrival_ref(chunks);
+  std::vector<rt::LcoRef> credit_ref(chunks);
+
+  const auto notify = world.runtime().actions().add(
+      "sig.notify", [&](Context& c, int, util::Buffer args) {
+        auto r = args.reader();
+        arrival[r.get<std::uint32_t>()]->set(c.now());
+      });
+
+  Gva buffers;
+  const auto consumer_tasks_before = world.fabric().cpu(1).tasks_run();
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    if (ctx.rank() == 0) {
+      buffers = alloc_cyclic(ctx, 2 * kSlots, chunk_bytes);
+    }
+    if (ctx.rank() == 1) {
+      for (std::uint32_t k = 0; k < chunks; ++k) {
+        arrival[k] = std::make_unique<rt::Event>();
+        arrival_ref[k] = ctx.make_ref(*arrival[k]);
+      }
+    } else {
+      for (std::uint32_t k = 0; k < chunks; ++k) {
+        credit[k] = std::make_unique<rt::Event>();
+        credit_ref[k] = ctx.make_ref(*credit[k]);
+      }
+    }
+    co_await world.coll().barrier(ctx);
+
+    auto slot_gva = [&](std::uint32_t k) {
+      // Consumer-side slots: blocks homed on rank 1 (odd block indices of
+      // a 2-node cyclic layout).
+      return buffers.advanced(
+          static_cast<std::int64_t>((k % kSlots) * 2 + 1) * chunk_bytes,
+          chunk_bytes);
+    };
+
+    if (ctx.rank() == 0) {
+      std::vector<std::byte> payload(chunk_bytes, std::byte{0x21});
+      for (std::uint32_t k = 0; k < chunks; ++k) {
+        if (k >= kSlots) co_await *credit[k - kSlots];
+        if (use_signal) {
+          co_await memput_signal(ctx, slot_gva(k), payload, arrival_ref[k]);
+        } else {
+          co_await memput(ctx, slot_gva(k), payload);
+          ctx.send(1, notify, rt::pack_args(k));
+        }
+      }
+    } else {
+      for (std::uint32_t k = 0; k < chunks; ++k) {
+        co_await *arrival[k];
+        // Consume: local read + small processing.
+        const auto raw = co_await memget(ctx, slot_gva(k), chunk_bytes);
+        ctx.charge(raw.size() / 16);
+        ctx.set_lco(credit_ref[k]);
+      }
+    }
+  });
+
+  SignalResult out;
+  out.total = world.now();
+  out.parcels = world.counters().parcels_sent;
+  out.target_cpu_tasks = world.fabric().cpu(1).tasks_run() - consumer_tasks_before;
+  return out;
+}
+
+}  // namespace
+}  // namespace nvgas::bench
+
+int main(int argc, char** argv) {
+  using namespace nvgas::bench;
+  const nvgas::util::Options opt(argc, argv);
+  const auto chunks = static_cast<std::uint32_t>(opt.get_uint("chunks", 64));
+  const auto sizes = opt.get_uint_list("sizes", {1024, 8192, 65536, 262144});
+
+  print_header("S-4", "producer/consumer notification: NIC ledger vs parcels");
+
+  nvgas::util::Table t("2-stage stream, 64 chunks");
+  t.columns({"chunk", "ledger", "parcels", "ledger speedup", "notify parcels",
+             "consumer CPU tasks (ledger/parcel)"});
+  for (const auto size : sizes) {
+    const auto s32 = static_cast<std::uint32_t>(size);
+    const SignalResult led = run_stream(true, s32, chunks);
+    const SignalResult par = run_stream(false, s32, chunks);
+    char cpu[48];
+    std::snprintf(cpu, sizeof cpu, "%llu / %llu",
+                  static_cast<unsigned long long>(led.target_cpu_tasks),
+                  static_cast<unsigned long long>(par.target_cpu_tasks));
+    t.cell(nvgas::util::format_bytes(size))
+        .cell(nvgas::util::format_ns(static_cast<double>(led.total)))
+        .cell(nvgas::util::format_ns(static_cast<double>(par.total)))
+        .cell(static_cast<double>(par.total) / static_cast<double>(led.total), 3)
+        .cell(par.parcels - led.parcels)
+        .cell(std::string(cpu))
+        .end_row();
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: the ledger saves one wire crossing plus a consumer\n"
+      "CPU task per chunk — biggest relative win at small chunks, washed\n"
+      "out by transfer time at large ones.\n");
+  return 0;
+}

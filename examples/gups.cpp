@@ -1,0 +1,96 @@
+// GUPS-style random access over the global address space.
+//
+//   build/examples/gups [--nodes=16] [--mode=agas-net] [--updates=20000]
+//                       [--table-mib=4] [--window=16] [--seed=7]
+//
+// Every rank performs read-modify-write updates (remote fetch-add) on
+// random words of a big cyclic table, keeping `window` operations in
+// flight. Reports simulated GUPS and the translation-machinery counters,
+// which is where the three address-space managers differ.
+#include <cstdio>
+
+#include "core/nvgas.hpp"
+
+namespace {
+
+nvgas::GasMode parse_mode(const std::string& s) {
+  if (s == "pgas") return nvgas::GasMode::kPgas;
+  if (s == "agas-sw") return nvgas::GasMode::kAgasSw;
+  return nvgas::GasMode::kAgasNet;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nvgas::util::Options opt(argc, argv);
+  const int nodes = static_cast<int>(opt.get_int("nodes", 16));
+  const std::uint64_t updates_per_rank = opt.get_uint("updates", 20000) /
+                                         static_cast<std::uint64_t>(nodes);
+  const std::uint64_t table_mib = opt.get_uint("table-mib", 4);
+  const std::uint64_t window = opt.get_uint("window", 16);
+  const std::uint64_t seed = opt.get_uint("seed", 7);
+
+  nvgas::Config cfg =
+      nvgas::Config::with_nodes(nodes, parse_mode(opt.get("mode", "agas-net")));
+  cfg.machine.mem_bytes_per_node = (table_mib + 8) << 20;
+  nvgas::World world(cfg);
+
+  constexpr std::uint32_t kBlockSize = 4096;
+  const std::uint32_t nblocks =
+      static_cast<std::uint32_t>(table_mib << 20) / kBlockSize;
+  const std::uint64_t words = static_cast<std::uint64_t>(nblocks) * kBlockSize / 8;
+
+  std::printf("GUPS: %d nodes, %s, table %llu MiB (%u blocks), %llu updates/rank, window %llu\n",
+              nodes, nvgas::gas::to_string(cfg.gas_mode),
+              static_cast<unsigned long long>(table_mib), nblocks,
+              static_cast<unsigned long long>(updates_per_rank),
+              static_cast<unsigned long long>(window));
+
+  nvgas::Gva shared_table;  // set by rank 0 before the first barrier
+  world.run_spmd([&](nvgas::Context& ctx) -> nvgas::Fiber {
+    if (ctx.rank() == 0) {
+      shared_table = nvgas::alloc_cyclic(ctx, nblocks, kBlockSize);
+    }
+    co_await world.coll().barrier(ctx);
+
+    nvgas::util::Rng rng(seed * 1315423911ULL +
+                         static_cast<std::uint64_t>(ctx.rank()));
+    // Keep `window` fetch-adds in flight using an AndGate per batch.
+    std::uint64_t remaining = updates_per_rank;
+    while (remaining > 0) {
+      const std::uint64_t batch = std::min(window, remaining);
+      remaining -= batch;
+      nvgas::rt::AndGate gate(batch);
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        const std::uint64_t w = rng.below(words);
+        const nvgas::Gva addr =
+            shared_table.advanced(static_cast<std::int64_t>(w) * 8, kBlockSize);
+        nvgas::fetch_add_nb(ctx, addr, 1, gate);
+      }
+      co_await gate;
+    }
+    co_await world.coll().barrier(ctx);
+  });
+
+  const double secs = static_cast<double>(world.now()) / 1e9;
+  const double total_updates =
+      static_cast<double>(updates_per_rank) * nodes;
+  std::printf("\nsimulated time     : %.3f ms\n", secs * 1e3);
+  std::printf("update rate        : %s\n",
+              nvgas::util::format_rate(total_updates / secs).c_str());
+  const auto& c = world.counters();
+  std::printf("messages           : %llu\n",
+              static_cast<unsigned long long>(c.messages_sent));
+  std::printf("nic tlb hit/miss   : %llu / %llu (forwards %llu)\n",
+              static_cast<unsigned long long>(c.nic_tlb_hits),
+              static_cast<unsigned long long>(c.nic_tlb_misses),
+              static_cast<unsigned long long>(c.nic_forwards));
+  std::printf("sw cache hit/miss  : %llu / %llu (directory lookups %llu)\n",
+              static_cast<unsigned long long>(c.sw_cache_hits),
+              static_cast<unsigned long long>(c.sw_cache_misses),
+              static_cast<unsigned long long>(c.directory_lookups));
+  if (opt.get_bool("report", false)) {
+    std::printf("\n%s", world.report().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Top-level configuration for an nvgas World.
+#pragma once
+
+#include "core/agas_net.hpp"
+#include "gas/costs.hpp"
+#include "gas/gas_api.hpp"
+#include "net/config.hpp"
+#include "rt/collectives.hpp"
+#include "rt/costs.hpp"
+#include "sim/machine.hpp"
+
+namespace nvgas {
+
+struct Config {
+  sim::MachineParams machine;      // hardware model
+  net::NetConfig net;              // middleware knobs
+  rt::RtCosts rt_costs;            // runtime software costs
+  rt::CollAlgo coll_algo = rt::CollAlgo::kFlat;  // collective algorithm
+  gas::GasCosts gas_costs;         // address-space software costs
+  core::AgasNetConfig agas_net;    // contribution's design knobs
+  gas::GasMode gas_mode = gas::GasMode::kAgasNet;
+  std::uint64_t seed = 0x5eed0000;  // workload RNG seed (determinism)
+
+  [[nodiscard]] static Config with_nodes(int nodes,
+                                         gas::GasMode mode = gas::GasMode::kAgasNet) {
+    Config cfg;
+    cfg.machine.nodes = nodes;
+    cfg.gas_mode = mode;
+    return cfg;
+  }
+};
+
+}  // namespace nvgas

@@ -1,0 +1,139 @@
+// Software-managed AGAS baseline (how HPX-5 shipped before the
+// network-managed design).
+//
+// Translation state:
+//   * each block's HOME rank holds the authoritative directory entry
+//     (owner, lva, generation, sharers, move state) — every directory
+//     access is a CPU task at the home;
+//   * every other rank keeps a bounded LRU translation cache, filled by
+//     request/response parcels to the home.
+//
+// Invariant: a cached translation is never stale. The home enforces it by
+// invalidating all sharers (and waiting for their in-flight RMAs to
+// drain — the "fence") before a block moves. That synchronous
+// invalidation storm is precisely the cost the network-managed design
+// eliminates.
+//
+// Migration protocol (home-coordinated, 6 steps):
+//   1. initiator -> home: MIG_REQ(block, dst)
+//   2. home: mark moving; INV to every sharer; sharers fence + ACK
+//   3. home -> dst: ALLOC; dst allocates backing store, replies lva'
+//   4. home -> owner: XFER(dst, lva'); owner RMA-puts the block data
+//   5. owner: release old storage, -> home: MOVED
+//   6. home: commit {owner=dst, lva', gen+1}, clear sharers, replay
+//      queued work, notify initiator.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "gas/directory.hpp"
+#include "gas/gas_api.hpp"
+#include "gas/tcache.hpp"
+
+namespace nvgas::gas {
+
+class AgasSw final : public GasBase {
+ public:
+  AgasSw(sim::Fabric& fabric, net::EndpointGroup& endpoints, GlobalHeap& heap,
+         GasCosts costs);
+
+  [[nodiscard]] GasMode mode() const override { return GasMode::kAgasSw; }
+  [[nodiscard]] bool supports_migration() const override { return true; }
+
+  Gva alloc(sim::TaskCtx& task, int node, Dist dist, std::uint32_t nblocks,
+            std::uint32_t block_size) override;
+
+  void memput(sim::TaskCtx& task, int node, Gva dst,
+              std::vector<std::byte> data, net::OnDone done) override;
+  void memput_notify(sim::TaskCtx& task, int node, Gva dst,
+                     std::vector<std::byte> data, net::OnDone done,
+                     net::OnDone remote_notify) override;
+  void memget(sim::TaskCtx& task, int node, Gva src, std::size_t len,
+              net::OnData done) override;
+  void fetch_add(sim::TaskCtx& task, int node, Gva addr, std::uint64_t operand,
+                 net::OnU64 done) override;
+  void resolve(sim::TaskCtx& task, int node, Gva addr, OnOwner done) override;
+  void migrate(sim::TaskCtx& task, int node, Gva block, int dst,
+               net::OnDone done) override;
+
+  [[nodiscard]] std::pair<int, sim::Lva> owner_of(Gva block) const override;
+
+  // Introspection for tests/benches.
+  [[nodiscard]] const TranslationCache& cache(int node) const {
+    return nodes_.at(static_cast<std::size_t>(node)).cache;
+  }
+  [[nodiscard]] const Directory& directory(int node) const {
+    return nodes_.at(static_cast<std::size_t>(node)).dir;
+  }
+
+ protected:
+  std::pair<int, sim::Lva> drop_block_state(Gva block_base) override;
+
+ private:
+  // Continuation receiving a valid translation, run inside a CPU task on
+  // the issuing node.
+  using Cont = std::function<void(sim::TaskCtx&, const CacheEntry&)>;
+
+  struct Migration {
+    int dst = -1;
+    int initiator = -1;
+    std::uint32_t pending_acks = 0;
+    sim::Lva dst_lva = 0;
+    net::OnDone done;
+  };
+  struct PendingMigration {
+    int dst;
+    int initiator;
+    net::OnDone done;
+  };
+
+  struct NodeState {
+    explicit NodeState(std::size_t cache_capacity) : cache(cache_capacity) {}
+    // Source side.
+    TranslationCache cache;
+    std::unordered_map<std::uint64_t, std::vector<Cont>> pending_resolves;
+    std::unordered_map<std::uint64_t, std::uint32_t> outstanding;  // in-flight RMAs
+    std::unordered_map<std::uint64_t, std::vector<std::function<void(sim::Time)>>>
+        fence_waiters;
+    // Home side.
+    Directory dir;
+    std::unordered_map<std::uint64_t, std::vector<std::function<void(sim::TaskCtx&)>>>
+        deferred;  // work queued while the block is moving
+    std::unordered_map<std::uint64_t, Migration> migrations;
+    std::unordered_map<std::uint64_t, std::vector<PendingMigration>> queued_migrations;
+  };
+
+  [[nodiscard]] NodeState& st(int node) {
+    return nodes_.at(static_cast<std::size_t>(node));
+  }
+  [[nodiscard]] bool queued_migrations_empty(std::uint64_t key) const;
+  [[nodiscard]] int home_of_key(Gva block_base) const {
+    return block_base.home(fabric_->nodes());
+  }
+
+  // Resolve `block_base` from `node`, then run `cont`. Handles home-local
+  // lookups, cache hits, misses (request/response), and queuing while the
+  // block is moving.
+  void with_translation(sim::TaskCtx& task, int node, Gva block_base, Cont cont);
+
+  // Home-side request processing (runs as a CPU task at the home).
+  void handle_resolve_request(sim::TaskCtx& task, Gva block_base, int requester);
+
+  // RMA issue helpers with fencing bookkeeping.
+  void begin_op(int node, std::uint64_t key);
+  void end_op(int node, std::uint64_t key, sim::Time t);
+
+  // Migration steps (all run at the home unless noted).
+  void start_migration(sim::TaskCtx& task, Gva block_base, int dst,
+                       int initiator, net::OnDone done);
+  void migration_acked(sim::TaskCtx& task, Gva block_base);
+  void migration_alloc(sim::TaskCtx& task, Gva block_base);
+  void migration_transfer(sim::TaskCtx& task, Gva block_base);
+  void finish_migration(sim::TaskCtx& task, Gva block_base);
+  void chain_queued_migration(sim::TaskCtx& task, Gva block_base);
+
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace nvgas::gas

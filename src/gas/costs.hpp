@@ -1,0 +1,26 @@
+// Software cost parameters for the address-space managers.
+//
+// These are CPU nanoseconds charged on the node executing the step; the
+// ordering (arithmetic < cache hit < cache insert < directory work)
+// mirrors measured software AGAS implementations.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace nvgas::gas {
+
+struct GasCosts {
+  sim::Time pgas_translate_ns = 5;    // block-cyclic arithmetic
+  sim::Time sw_cache_hit_ns = 25;     // source-side translation cache hit
+  sim::Time sw_cache_insert_ns = 40;  // fill after a miss
+  sim::Time dir_lookup_ns = 180;      // home directory resolve (CPU)
+  sim::Time dir_update_ns = 220;      // home directory mutation (CPU)
+  sim::Time invalidate_ns = 60;       // processing one cache invalidation
+  sim::Time alloc_block_ns = 120;     // per-block local heap allocation
+
+  std::size_t sw_cache_capacity = 4096;  // entries per node
+};
+
+}  // namespace nvgas::gas

@@ -1,0 +1,58 @@
+// Home-based directory for the software-managed AGAS.
+//
+// Each block's home rank holds the authoritative record of its current
+// owner, local address, generation, sharer set (nodes caching the
+// translation) and move state. Directory accesses always run as CPU
+// tasks at the home — the structural cost the network-managed design
+// removes.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "util/assert.hpp"
+
+namespace nvgas::gas {
+
+struct DirEntry {
+  int owner = -1;
+  sim::Lva lva = 0;
+  std::uint32_t generation = 0;
+  bool moving = false;
+  std::set<int> sharers;
+};
+
+class Directory {
+ public:
+  void insert(std::uint64_t block_key, int owner, sim::Lva lva) {
+    const auto [it, fresh] =
+        entries_.emplace(block_key, DirEntry{owner, lva, 0, false, {}});
+    NVGAS_CHECK_MSG(fresh, "duplicate directory insert");
+    (void)it;
+  }
+
+  [[nodiscard]] DirEntry& at(std::uint64_t block_key) {
+    const auto it = entries_.find(block_key);
+    NVGAS_CHECK_MSG(it != entries_.end(), "directory entry missing");
+    return it->second;
+  }
+  [[nodiscard]] const DirEntry& at(std::uint64_t block_key) const {
+    return const_cast<Directory*>(this)->at(block_key);
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t block_key) const {
+    return entries_.count(block_key) != 0;
+  }
+
+  void erase(std::uint64_t block_key) { entries_.erase(block_key); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, DirEntry> entries_;
+};
+
+}  // namespace nvgas::gas

@@ -1,0 +1,22 @@
+#include "gas/gva.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace nvgas::gas {
+
+std::string to_string(Gva gva) {
+  if (gva.null()) return "gva{null}";
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "gva{%s c%d a%u b%u +0x%x}",
+                gva.dist() == Dist::kLocal ? "local" : "cyclic", gva.creator(),
+                gva.alloc_id(), gva.block(), gva.offset());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Gva gva) {
+  return os << to_string(gva);
+}
+
+}  // namespace nvgas::gas

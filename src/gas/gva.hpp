@@ -1,0 +1,120 @@
+// Global virtual address (GVA) codec.
+//
+// A GVA names a byte in the global address space and never changes when
+// the underlying block migrates. Layout (64 bits):
+//
+//   [63..62] distribution   (2 bits: local / cyclic)
+//   [61..52] creator rank   (10 bits, up to 1024 nodes)
+//   [51..40] allocation id  (12 bits, up to 4095 live allocations)
+//   [39..20] block index    (20 bits, up to 1M blocks per allocation)
+//   [19..0]  byte offset    (20 bits, blocks up to 1 MiB)
+//
+// The *home* of a block — the rank whose directory/NIC is authoritative
+// for it — is pure arithmetic on the address (cyclic: (creator + block)
+// mod P), which is what lets both the PGAS baseline and the NIC fast
+// path translate without any table for the home step.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace nvgas::gas {
+
+enum class Dist : std::uint8_t { kLocal = 0, kCyclic = 1 };
+
+class Gva {
+ public:
+  static constexpr unsigned kOffsetBits = 20;
+  static constexpr unsigned kBlockBits = 20;
+  static constexpr unsigned kAllocBits = 12;
+  static constexpr unsigned kCreatorBits = 10;
+  static constexpr unsigned kDistBits = 2;
+  static_assert(kOffsetBits + kBlockBits + kAllocBits + kCreatorBits + kDistBits == 64);
+
+  static constexpr std::uint64_t kMaxBlockSize = 1ULL << kOffsetBits;
+  static constexpr std::uint64_t kMaxBlocks = 1ULL << kBlockBits;
+  static constexpr std::uint64_t kMaxAllocs = (1ULL << kAllocBits) - 1;
+  static constexpr int kMaxNodes = 1 << kCreatorBits;
+
+  constexpr Gva() = default;
+  constexpr explicit Gva(std::uint64_t bits) : bits_(bits) {}
+
+  static constexpr Gva make(Dist dist, int creator, std::uint32_t alloc_id,
+                            std::uint32_t block, std::uint32_t offset) {
+    return Gva((static_cast<std::uint64_t>(dist) << (64 - kDistBits)) |
+               (static_cast<std::uint64_t>(creator) << (kOffsetBits + kBlockBits + kAllocBits)) |
+               (static_cast<std::uint64_t>(alloc_id) << (kOffsetBits + kBlockBits)) |
+               (static_cast<std::uint64_t>(block) << kOffsetBits) |
+               offset);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool null() const { return bits_ == 0; }
+
+  [[nodiscard]] constexpr Dist dist() const {
+    return static_cast<Dist>(bits_ >> (64 - kDistBits));
+  }
+  [[nodiscard]] constexpr int creator() const {
+    return static_cast<int>((bits_ >> (kOffsetBits + kBlockBits + kAllocBits)) &
+                            util::low_mask(kCreatorBits));
+  }
+  [[nodiscard]] constexpr std::uint32_t alloc_id() const {
+    return static_cast<std::uint32_t>((bits_ >> (kOffsetBits + kBlockBits)) &
+                                      util::low_mask(kAllocBits));
+  }
+  [[nodiscard]] constexpr std::uint32_t block() const {
+    return static_cast<std::uint32_t>((bits_ >> kOffsetBits) &
+                                      util::low_mask(kBlockBits));
+  }
+  [[nodiscard]] constexpr std::uint32_t offset() const {
+    return static_cast<std::uint32_t>(bits_ & util::low_mask(kOffsetBits));
+  }
+
+  // Identity of the containing block: the address with offset zeroed.
+  // Used as the key in directories, caches and NIC TLBs.
+  [[nodiscard]] constexpr std::uint64_t block_key() const {
+    return bits_ & ~util::low_mask(kOffsetBits);
+  }
+  [[nodiscard]] constexpr Gva block_base() const { return Gva(block_key()); }
+
+  // Home rank (arithmetic, no table).
+  [[nodiscard]] constexpr int home(int ranks) const {
+    return dist() == Dist::kLocal
+               ? creator()
+               : static_cast<int>((static_cast<std::uint32_t>(creator()) + block()) %
+                                  static_cast<std::uint32_t>(ranks));
+  }
+
+  // Address arithmetic across the allocation's block sequence: linearizes
+  // (block, offset) with the allocation's block size, adds `delta` bytes,
+  // and re-splits. The caller supplies the block size (it is allocation
+  // metadata, not encoded in the address).
+  [[nodiscard]] Gva advanced(std::int64_t delta, std::uint32_t block_size) const {
+    NVGAS_DCHECK(block_size > 0 && block_size <= kMaxBlockSize);
+    const std::int64_t linear =
+        static_cast<std::int64_t>(block()) * block_size + offset() + delta;
+    NVGAS_CHECK_MSG(linear >= 0, "gva arithmetic underflow");
+    const auto new_block = static_cast<std::uint64_t>(linear) / block_size;
+    const auto new_offset = static_cast<std::uint64_t>(linear) % block_size;
+    NVGAS_CHECK_MSG(new_block < kMaxBlocks, "gva arithmetic overflow");
+    return make(dist(), creator(), alloc_id(), static_cast<std::uint32_t>(new_block),
+                static_cast<std::uint32_t>(new_offset));
+  }
+
+  constexpr auto operator<=>(const Gva&) const = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+// Human-readable form for logs and test failures:
+// "gva{cyclic c3 a17 b42 +0x80}".
+std::string to_string(Gva gva);
+std::ostream& operator<<(std::ostream& os, Gva gva);
+
+}  // namespace nvgas::gas

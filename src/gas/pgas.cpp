@@ -1,0 +1,82 @@
+#include "gas/pgas.hpp"
+
+namespace nvgas::gas {
+
+Pgas::Place Pgas::translate(Gva addr) const {
+  const Gva base = addr.block_base();
+  return Place{base.home(fabric_->nodes()),
+               heap_->initial_lva(base) + addr.offset()};
+}
+
+void Pgas::do_memput(sim::TaskCtx& task, int node, Gva dst,
+                     std::vector<std::byte> data, net::OnDone done,
+                     net::OnDone remote_notify) {
+  heap_->check_extent(dst, data.size());
+  ++fabric_->counters().gas_memputs;
+  task.charge(costs_.pgas_translate_ns);
+  const Place p = translate(dst);
+  if (p.owner == node) {
+    local_put(task, node, p.lva, data, done);
+    if (remote_notify) remote_notify(task.now());
+    return;
+  }
+  task.charge(ep(node).post_cost());
+  ep(node).put(task.now(), p.owner, p.lva, std::move(data), std::move(done),
+               std::move(remote_notify));
+}
+
+void Pgas::memput(sim::TaskCtx& task, int node, Gva dst,
+                  std::vector<std::byte> data, net::OnDone done) {
+  do_memput(task, node, dst, std::move(data), std::move(done), nullptr);
+}
+
+void Pgas::memput_notify(sim::TaskCtx& task, int node, Gva dst,
+                         std::vector<std::byte> data, net::OnDone done,
+                         net::OnDone remote_notify) {
+  do_memput(task, node, dst, std::move(data), std::move(done),
+            std::move(remote_notify));
+}
+
+void Pgas::memget(sim::TaskCtx& task, int node, Gva src, std::size_t len,
+                  net::OnData done) {
+  heap_->check_extent(src, len);
+  ++fabric_->counters().gas_memgets;
+  task.charge(costs_.pgas_translate_ns);
+  const Place p = translate(src);
+  if (p.owner == node) {
+    local_get(task, node, p.lva, len, done);
+    return;
+  }
+  task.charge(ep(node).post_cost());
+  ep(node).get(task.now(), p.owner, p.lva, len, std::move(done));
+}
+
+void Pgas::fetch_add(sim::TaskCtx& task, int node, Gva addr,
+                     std::uint64_t operand, net::OnU64 done) {
+  heap_->check_extent(addr, sizeof(std::uint64_t));
+  ++fabric_->counters().gas_atomics;
+  task.charge(costs_.pgas_translate_ns);
+  const Place p = translate(addr);
+  if (p.owner == node) {
+    local_fadd(task, node, p.lva, operand, done);
+    return;
+  }
+  task.charge(ep(node).post_cost());
+  ep(node).fetch_add(task.now(), p.owner, p.lva, operand, std::move(done));
+}
+
+void Pgas::resolve(sim::TaskCtx& task, int /*node*/, Gva addr, OnOwner done) {
+  task.charge(costs_.pgas_translate_ns);
+  done(task.now(), addr.home(fabric_->nodes()));
+}
+
+void Pgas::migrate(sim::TaskCtx&, int, Gva, int, net::OnDone) {
+  NVGAS_CHECK_MSG(false, "PGAS does not support migration");
+}
+
+std::pair<int, sim::Lva> Pgas::owner_of(Gva block) const {
+  const Place p = translate(block.block_base());
+  return {p.owner, p.lva};
+}
+
+}  // namespace nvgas::gas

@@ -1,0 +1,48 @@
+#include "gas/tcache.hpp"
+
+namespace nvgas::gas {
+
+std::optional<CacheEntry> TranslationCache::lookup(std::uint64_t block_key) {
+  const auto it = map_.find(block_key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+  return it->second.entry;
+}
+
+void TranslationCache::insert(std::uint64_t block_key, const CacheEntry& entry) {
+  const auto it = map_.find(block_key);
+  if (it != map_.end()) {
+    it->second.entry = entry;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(block_key);
+  map_.emplace(block_key, Slot{entry, lru_.begin()});
+}
+
+bool TranslationCache::invalidate(std::uint64_t block_key) {
+  const auto it = map_.find(block_key);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+  return true;
+}
+
+void TranslationCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace nvgas::gas

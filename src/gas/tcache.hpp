@@ -1,0 +1,55 @@
+// Source-side software translation cache (per node), used by the
+// software-managed AGAS baseline. LRU with bounded capacity; entries are
+// invalidated by the home directory before a block moves, so a cached
+// translation is never stale.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/memory.hpp"
+#include "util/assert.hpp"
+
+namespace nvgas::gas {
+
+struct CacheEntry {
+  int owner = -1;
+  sim::Lva lva = 0;
+  std::uint32_t generation = 0;
+};
+
+class TranslationCache {
+ public:
+  explicit TranslationCache(std::size_t capacity) : capacity_(capacity) {
+    NVGAS_CHECK(capacity_ >= 1);
+  }
+
+  [[nodiscard]] std::optional<CacheEntry> lookup(std::uint64_t block_key);
+  void insert(std::uint64_t block_key, const CacheEntry& entry);
+  // Invalidate one block; returns true if it was present.
+  bool invalidate(std::uint64_t block_key);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Slot> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace nvgas::gas

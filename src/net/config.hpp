@@ -1,0 +1,23 @@
+// Software-level network configuration (the middleware knobs, as opposed
+// to the hardware model in sim::MachineParams).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nvgas::net {
+
+struct NetConfig {
+  // Parcels at or below this payload size go eager (payload rides the
+  // first message); larger ones use the rendezvous (RTS + get) protocol.
+  std::size_t eager_threshold = 4096;
+
+  // Wire header sizes, charged on every message of the given class.
+  std::uint64_t rma_header_bytes = 32;
+  std::uint64_t ack_bytes = 16;
+  std::uint64_t atomic_bytes = 40;
+  std::uint64_t parcel_header_bytes = 48;
+  std::uint64_t rts_bytes = 40;
+};
+
+}  // namespace nvgas::net

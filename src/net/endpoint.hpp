@@ -1,0 +1,131 @@
+// Photon-style RMA middleware endpoint.
+//
+// One Endpoint per node, layered directly on the simulated NIC. It
+// provides the verbs the original system gets from Photon:
+//
+//   * put / get with completion  — one-sided RMA on registered memory;
+//     the target CPU is never involved (DMA + ack ride the NIC command
+//     processor),
+//   * fetch_add / compare_swap   — NIC-executed remote atomics,
+//   * parcels                    — two-sided active-message transport
+//     with eager and rendezvous (RTS+get) protocols; these DO raise a
+//     CPU task at the target, which is exactly the cost the
+//     network-managed AGAS avoids on its data path.
+//
+// Completion callbacks run as engine events at the time the completion
+// would appear in the source's completion ledger.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/config.hpp"
+#include "sim/cpu.hpp"
+#include "sim/fabric.hpp"
+#include "sim/memory.hpp"
+#include "util/buffer.hpp"
+
+namespace nvgas::net {
+
+using sim::Lva;
+using sim::Time;
+
+using OnDone = std::function<void(Time)>;
+using OnData = std::function<void(Time, std::vector<std::byte>)>;
+using OnU64 = std::function<void(Time, std::uint64_t)>;
+
+// Parcel handlers run as CPU tasks at the destination.
+using ParcelHandler =
+    std::function<void(sim::TaskCtx&, int src, util::Buffer payload)>;
+
+class Endpoint {
+ public:
+  Endpoint(sim::Fabric& fabric, int node, const NetConfig& config);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] int node() const { return node_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+  [[nodiscard]] sim::Fabric& fabric() { return *fabric_; }
+
+  // --- one-sided RMA ------------------------------------------------------
+  // All verbs take an explicit departure time; runtime-layer callers pass
+  // TaskCtx::now() after charging cpu_send_overhead_ns (use post_cost()).
+
+  // Write `data` into dst's registered segment at dst_lva. `on_complete`
+  // fires at the source once the remote write is acknowledged;
+  // `on_remote` (optional) fires AT THE TARGET the moment the data is
+  // visible — Photon's put-with-completion remote ledger, which lets a
+  // consumer learn of arriving data without any two-sided traffic.
+  void put(Time depart, int dst, Lva dst_lva, std::vector<std::byte> data,
+           OnDone on_complete, OnDone on_remote = nullptr);
+
+  // Read `len` bytes from dst's registered segment at src_lva.
+  void get(Time depart, int dst, Lva src_lva, std::size_t len, OnData on_data);
+
+  // NIC-executed atomics on 8-byte-aligned remote words.
+  void fetch_add(Time depart, int dst, Lva lva, std::uint64_t operand,
+                 OnU64 on_old);
+  void compare_swap(Time depart, int dst, Lva lva, std::uint64_t expected,
+                    std::uint64_t desired, OnU64 on_old);
+
+  // --- two-sided parcels --------------------------------------------------
+
+  void set_parcel_handler(ParcelHandler handler) { handler_ = std::move(handler); }
+
+  // Deliver `payload` to dst's parcel handler (CPU task at dst). Eager for
+  // small payloads; rendezvous for large ones. `on_delivered` (optional)
+  // fires at the source once the target handler task has been enqueued.
+  void send_parcel(Time depart, int dst, util::Buffer payload,
+                   OnDone on_delivered = nullptr);
+
+  // --- escape hatch for NIC-level protocols --------------------------------
+  // The network-managed AGAS builds its GVA ops directly on raw messages so
+  // it can run entirely on NIC command processors (see core/agas_net).
+  void raw_send(Time depart, int dst, std::uint64_t bytes, sim::Nic::Deliver fn) {
+    fabric_->nic(node_).send(depart, dst, bytes, std::move(fn));
+  }
+
+  // CPU cost of posting a descriptor; callers charge this before picking
+  // the departure time.
+  [[nodiscard]] Time post_cost() const {
+    return fabric_->params().cpu_send_overhead_ns;
+  }
+
+ private:
+  friend class EndpointGroup;
+
+  void deliver_parcel_to_cpu(Time at, int src, util::Buffer payload);
+
+  sim::Fabric* fabric_;
+  int node_;
+  NetConfig config_;
+  ParcelHandler handler_;
+
+  // Resolves a node id to its Endpoint; installed by EndpointGroup.
+  std::function<Endpoint*(int)> peer_;
+
+  // Rendezvous staging: payloads parked at the source until the target
+  // pulls them.
+  std::unordered_map<std::uint64_t, util::Buffer> staged_;
+  std::uint64_t next_stage_id_ = 1;
+};
+
+// All endpoints of a fabric; wires up cross-endpoint delivery.
+class EndpointGroup {
+ public:
+  EndpointGroup(sim::Fabric& fabric, const NetConfig& config);
+
+  [[nodiscard]] Endpoint& at(int node) { return *endpoints_.at(static_cast<std::size_t>(node)); }
+  [[nodiscard]] int size() const { return static_cast<int>(endpoints_.size()); }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+ private:
+  NetConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace nvgas::net

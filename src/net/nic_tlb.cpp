@@ -1,0 +1,79 @@
+#include "net/nic_tlb.hpp"
+
+namespace nvgas::net {
+
+bool NicTlb::insert(std::uint64_t block, const TlbEntry& entry) {
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    // Overwrite in place; adjust pinned bookkeeping and LRU membership.
+    Slot& slot = it->second;
+    const bool was_pinned = slot.entry.pinned;
+    if (was_pinned && !entry.pinned) {
+      --pinned_count_;
+      lru_.push_front(block);
+      slot.lru_pos = lru_.begin();
+    } else if (!was_pinned && entry.pinned) {
+      ++pinned_count_;
+      lru_.erase(slot.lru_pos);
+    } else if (!entry.pinned) {
+      lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+      slot.lru_pos = lru_.begin();
+    }
+    slot.entry = entry;
+    return true;
+  }
+
+  if (!entry.pinned && lru_.size() >= capacity_) evict_one();
+
+  Slot slot;
+  slot.entry = entry;
+  if (entry.pinned) {
+    ++pinned_count_;
+  } else {
+    lru_.push_front(block);
+    slot.lru_pos = lru_.begin();
+  }
+  map_.emplace(block, std::move(slot));
+  return true;
+}
+
+std::optional<TlbEntry> NicTlb::lookup(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  Slot& slot = it->second;
+  if (!slot.entry.pinned) {
+    lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+    slot.lru_pos = lru_.begin();
+  }
+  return slot.entry;
+}
+
+TlbEntry* NicTlb::find(std::uint64_t block) {
+  auto it = map_.find(block);
+  return it == map_.end() ? nullptr : &it->second.entry;
+}
+
+void NicTlb::erase(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) return;
+  if (it->second.entry.pinned) {
+    --pinned_count_;
+  } else {
+    lru_.erase(it->second.lru_pos);
+  }
+  map_.erase(it);
+}
+
+void NicTlb::evict_one() {
+  NVGAS_CHECK(!lru_.empty());
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  map_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace nvgas::net

@@ -1,0 +1,78 @@
+// NIC-resident translation table ("NIC TLB").
+//
+// This is the hardware structure the paper's contribution programs: each
+// NIC holds a finite map from global block id to {owner node, local base
+// address, generation}. Lookups, inserts and the atomic remap used by
+// migration all execute on the NIC command processor, never the CPU.
+//
+// Capacity bounds the *cached* (unpinned) entries; eviction is LRU.
+// Pinned entries — the home NIC's authoritative records, which live in a
+// dedicated directory region of NIC memory — are not counted against the
+// cache capacity and never evict: the home NIC is the forwarder of last
+// resort, exactly like AGAS's home-based resolution.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/memory.hpp"
+#include "util/assert.hpp"
+
+namespace nvgas::net {
+
+struct TlbEntry {
+  int owner = -1;            // node currently holding the block
+  sim::Lva base = 0;         // block base LVA at the owner
+  std::uint32_t generation = 0;  // bumped on every migration
+  bool pinned = false;       // home entries are pinned
+  bool in_flight = false;    // set while a migration is moving the block
+};
+
+class NicTlb {
+ public:
+  explicit NicTlb(std::size_t capacity) : capacity_(capacity) {
+    NVGAS_CHECK(capacity_ >= 1);
+  }
+
+  // Insert or overwrite. Pinned entries always fit (directory region);
+  // unpinned entries LRU-evict once the cached-entry count exceeds the
+  // capacity. Returns true iff the entry is resident afterwards (always,
+  // today; kept boolean for symmetry with hardware that can refuse).
+  bool insert(std::uint64_t block, const TlbEntry& entry);
+
+  // Lookup; refreshes LRU position on hit.
+  [[nodiscard]] std::optional<TlbEntry> lookup(std::uint64_t block);
+
+  // Mutating access for migration (remap / in-flight flag). Returns null
+  // if absent. Does not refresh LRU: migrations should not keep stale
+  // cached entries warm.
+  [[nodiscard]] TlbEntry* find(std::uint64_t block);
+
+  void erase(std::uint64_t block);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Slot {
+    TlbEntry entry;
+    std::list<std::uint64_t>::iterator lru_pos;  // valid iff !entry.pinned
+  };
+
+  void evict_one();
+
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Slot> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::size_t pinned_count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace nvgas::net

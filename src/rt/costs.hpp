@@ -1,0 +1,16 @@
+// Runtime-software cost parameters (CPU nanoseconds charged by the
+// message-driven runtime itself, on top of the hardware model).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace nvgas::rt {
+
+struct RtCosts {
+  sim::Time action_dispatch_ns = 150;  // decode parcel, look up action
+  sim::Time fiber_resume_ns = 80;      // scheduler wakeup of a suspended fiber
+  sim::Time lco_set_ns = 30;           // LCO state transition
+  sim::Time spawn_ns = 100;            // create a new fiber/task
+};
+
+}  // namespace nvgas::rt

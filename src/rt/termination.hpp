@@ -1,0 +1,83 @@
+// Quiescence (termination) detection for message-driven computations.
+//
+// Chaotic algorithms (asynchronous SSSP relaxation, speculative work
+// distribution, ...) have no natural "last message": handlers may send
+// further parcels, so no single rank can observe completion locally.
+// This is the classic double-counting detector: every rank counts
+// application messages *injected* and *processed*; the computation is
+// quiescent when two consecutive global snapshots agree AND injected ==
+// processed. (Any message in flight at stable snapshot k would be
+// processed — changing the counts — before snapshot k+1 could match.)
+//
+// Usage (SPMD):
+//
+//   rt::QuiescenceDetector qd(world.runtime(), /*poll_ns=*/20'000);
+//   ... handlers call qd.note_sent(rank) / qd.note_processed(rank) ...
+//   co_await qd.wait(ctx);       // on every rank
+//
+// Each rank reports its counters to rank 0 every poll interval; rank 0
+// compares consecutive complete rounds and broadcasts the verdict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/context.hpp"
+#include "rt/lco.hpp"
+#include "rt/runtime.hpp"
+
+namespace nvgas::rt {
+
+class QuiescenceDetector {
+ public:
+  QuiescenceDetector(Runtime& rt, sim::Time poll_ns = 20'000);
+  QuiescenceDetector(const QuiescenceDetector&) = delete;
+  QuiescenceDetector& operator=(const QuiescenceDetector&) = delete;
+
+  // Application-message accounting (host-side, callable from handlers).
+  void note_sent(int rank, std::uint64_t n = 1) {
+    sent_[static_cast<std::size_t>(rank)] += n;
+  }
+  void note_processed(int rank, std::uint64_t n = 1) {
+    processed_[static_cast<std::size_t>(rank)] += n;
+  }
+
+  // SPMD: every rank awaits this once; it triggers when global
+  // quiescence is certain. Calling wait() arms this rank's reporter.
+  [[nodiscard]] Event& wait(Context& ctx);
+
+  [[nodiscard]] std::uint64_t rounds() const { return round_; }
+
+ private:
+  struct Latest {
+    std::uint64_t sent = 0;
+    std::uint64_t processed = 0;
+    bool fresh = false;  // reported since the last snapshot
+  };
+
+  void arm_reporter(int rank);
+  void root_accept(Context& c, int rank, std::uint64_t round, std::uint64_t s,
+                   std::uint64_t p);
+
+  Runtime& rt_;
+  sim::Time poll_ns_;
+  std::vector<std::uint64_t> sent_;
+  std::vector<std::uint64_t> processed_;
+  std::vector<std::unique_ptr<Event>> done_;  // per rank
+  bool finished_ = false;
+
+  // Root-side snapshot bookkeeping: a snapshot closes when every rank has
+  // reported since the previous one; consecutive snapshots are compared
+  // PER RANK (mixing sums across ranks would be unsound under report
+  // reordering).
+  std::uint64_t round_ = 0;
+  std::vector<Latest> latest_;
+  std::vector<Latest> prev_snapshot_;
+  bool have_prev_ = false;
+
+  ActionId report_ = kInvalidAction;
+  ActionId verdict_ = kInvalidAction;
+};
+
+}  // namespace nvgas::rt

@@ -1,0 +1,91 @@
+// Simulation-wide event counters.
+//
+// The paper's argument is structural (how many messages, hops, CPU tasks
+// are on each critical path), so these counters are first-class outputs:
+// tests assert on them and benches report them next to times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nvgas::sim {
+
+struct Counters {
+  // Network.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  // CPU.
+  std::uint64_t cpu_tasks = 0;
+  std::uint64_t cpu_busy_ns = 0;
+
+  // RMA verbs.
+  std::uint64_t rma_puts = 0;
+  std::uint64_t rma_gets = 0;
+  std::uint64_t rma_atomics = 0;
+
+  // Parcels (two-sided).
+  std::uint64_t parcels_sent = 0;
+  std::uint64_t parcels_eager = 0;
+  std::uint64_t parcels_rendezvous = 0;
+
+  // NIC translation unit (network-managed AGAS).
+  std::uint64_t nic_tlb_hits = 0;
+  std::uint64_t nic_tlb_misses = 0;
+  std::uint64_t nic_forwards = 0;
+  std::uint64_t nic_tlb_updates = 0;
+
+  // Software AGAS.
+  std::uint64_t sw_cache_hits = 0;
+  std::uint64_t sw_cache_misses = 0;
+  std::uint64_t sw_cache_invalidations = 0;
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t directory_nacks = 0;
+
+  // GAS-level operations.
+  std::uint64_t gas_memputs = 0;
+  std::uint64_t gas_memgets = 0;
+  std::uint64_t gas_atomics = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_bytes = 0;
+
+  void reset() { *this = Counters{}; }
+
+  // Stable name→value view for reporting and for test snapshots.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> items() const {
+    return {
+        {"messages_sent", messages_sent},
+        {"bytes_sent", bytes_sent},
+        {"messages_delivered", messages_delivered},
+        {"bytes_delivered", bytes_delivered},
+        {"cpu_tasks", cpu_tasks},
+        {"cpu_busy_ns", cpu_busy_ns},
+        {"rma_puts", rma_puts},
+        {"rma_gets", rma_gets},
+        {"rma_atomics", rma_atomics},
+        {"parcels_sent", parcels_sent},
+        {"parcels_eager", parcels_eager},
+        {"parcels_rendezvous", parcels_rendezvous},
+        {"nic_tlb_hits", nic_tlb_hits},
+        {"nic_tlb_misses", nic_tlb_misses},
+        {"nic_forwards", nic_forwards},
+        {"nic_tlb_updates", nic_tlb_updates},
+        {"sw_cache_hits", sw_cache_hits},
+        {"sw_cache_misses", sw_cache_misses},
+        {"sw_cache_invalidations", sw_cache_invalidations},
+        {"directory_lookups", directory_lookups},
+        {"directory_nacks", directory_nacks},
+        {"gas_memputs", gas_memputs},
+        {"gas_memgets", gas_memgets},
+        {"gas_atomics", gas_atomics},
+        {"migrations", migrations},
+        {"migration_bytes", migration_bytes},
+    };
+  }
+};
+
+}  // namespace nvgas::sim

@@ -1,0 +1,84 @@
+// Per-node CPU model.
+//
+// A node owns `workers` schedulable hardware threads. Runtime work is
+// submitted as tasks; a task executes at the earliest time a worker is
+// free and occupies that worker for the cost it charges via TaskCtx.
+// Host-side execution of the task body is instantaneous (it is C++ code
+// running inside one engine event); only charged cost advances simulated
+// time. This separates "what the protocol does" from "what it costs", so
+// the cost model is explicit and auditable at each charge site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace nvgas::sim {
+
+class Cpu;
+
+// Execution context of one task segment. `now()` is the effective current
+// simulated time inside the segment: the segment's start plus everything
+// charged so far — message departures use it so that work preceding a send
+// delays the send.
+class TaskCtx {
+ public:
+  TaskCtx(Cpu& cpu, Time start) : cpu_(&cpu), start_(start) {}
+
+  void charge(Time ns) { charged_ += ns; }
+  [[nodiscard]] Time start() const { return start_; }
+  [[nodiscard]] Time charged() const { return charged_; }
+  [[nodiscard]] Time now() const { return start_ + charged_; }
+  [[nodiscard]] Cpu& cpu() const { return *cpu_; }
+
+ private:
+  Cpu* cpu_;
+  Time start_;
+  Time charged_ = 0;
+};
+
+using Task = std::function<void(TaskCtx&)>;
+
+class Cpu {
+ public:
+  Cpu(Engine& engine, int node, int workers, Counters& counters,
+      Trace* trace = nullptr);
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Run `fn` as soon as a worker is free (FIFO among submitted tasks).
+  void submit(Task fn);
+
+  // Run `fn` no earlier than absolute time `t`.
+  void submit_at(Time t, Task fn);
+
+  [[nodiscard]] int node() const { return node_; }
+  [[nodiscard]] int workers() const { return static_cast<int>(avail_.size()); }
+  [[nodiscard]] Time busy_ns() const { return busy_ns_; }
+  [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void pump();
+  std::size_t earliest_worker() const;
+
+  Engine& engine_;
+  int node_;
+  Counters& counters_;
+  Trace* trace_;
+  std::vector<Time> avail_;        // per-worker next-free time
+  std::deque<Task> queue_;
+  Time wake_at_ = 0;
+  bool wake_scheduled_ = false;
+  bool pumping_ = false;
+  Time busy_ns_ = 0;
+  std::uint64_t tasks_run_ = 0;
+};
+
+}  // namespace nvgas::sim

@@ -1,0 +1,35 @@
+#include "sim/engine.hpp"
+
+namespace nvgas::sim {
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires the
+  // usual const_cast dance or a copy. The callback is heap-allocated state
+  // (std::function), so move it: the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  NVGAS_DCHECK(ev.at >= now_);
+  now_ = ev.at;
+  note_executed(ev);
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace nvgas::sim

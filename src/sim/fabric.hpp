@@ -1,0 +1,71 @@
+// The simulated cluster: engine + per-node {CPU, NIC, memory}.
+//
+// This is the substitution substrate for the multi-node InfiniBand
+// machine the original evaluation used (see DESIGN.md §3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+#include "sim/nic.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace nvgas::sim {
+
+class Fabric {
+ public:
+  explicit Fabric(const MachineParams& params);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const MachineParams& params() const { return params_; }
+  [[nodiscard]] int nodes() const { return params_.nodes; }
+  [[nodiscard]] Counters& counters() { return counters_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  [[nodiscard]] Cpu& cpu(int node) { return *nodes_.at(static_cast<std::size_t>(node)).cpu; }
+  [[nodiscard]] Nic& nic(int node) { return *nodes_.at(static_cast<std::size_t>(node)).nic; }
+  [[nodiscard]] Memory& mem(int node) { return *nodes_.at(static_cast<std::size_t>(node)).mem; }
+
+  // One-way wire latency between two nodes, per the configured topology,
+  // plus deterministic seeded jitter if configured. Loopback (src == dst)
+  // skips the wire but still pays NIC port costs, like a real NIC
+  // loopback path.
+  [[nodiscard]] Time latency(int src, int dst) {
+    if (src == dst) return 0;
+    Time l = topology_.latency(src, dst, params_.wire_latency_ns,
+                               params_.per_hop_latency_ns);
+    if (params_.wire_jitter_ns > 0) {
+      l += jitter_rng_.below(params_.wire_jitter_ns);
+    }
+    return l;
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<Cpu> cpu;
+    std::unique_ptr<Nic> nic;
+    std::unique_ptr<Memory> mem;
+  };
+
+  MachineParams params_;
+  Topology topology_;
+  Engine engine_;
+  Counters counters_;
+  Trace trace_;
+  util::Rng jitter_rng_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace nvgas::sim

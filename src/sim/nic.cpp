@@ -1,0 +1,57 @@
+#include "sim/nic.hpp"
+
+#include <algorithm>
+
+#include "sim/fabric.hpp"
+#include "sim/trace.hpp"
+
+namespace nvgas::sim {
+
+void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
+  auto& engine = fabric_->engine();
+  const auto& p = fabric_->params();
+  NVGAS_CHECK(depart >= engine.now());
+
+  // tx port serialization.
+  tx_avail_ = std::max(depart, tx_avail_) + p.wire_time(bytes);
+  const Time at_dst_port = tx_avail_ + fabric_->latency(node_, dst);
+
+  ++tx_messages_;
+  tx_bytes_ += bytes;
+  auto& c = fabric_->counters();
+  ++c.messages_sent;
+  c.bytes_sent += bytes;
+
+  fabric_->trace().record(tx_avail_, TraceEvent::kMsgSend, node_, dst, bytes);
+
+  Nic& dst_nic = fabric_->nic(dst);
+  const int src_node = node_;
+  engine.at(at_dst_port, [&dst_nic, at_dst_port, src_node, bytes,
+                          deliver = std::move(deliver)]() mutable {
+    dst_nic.arrive(at_dst_port, src_node, bytes, std::move(deliver));
+  });
+}
+
+void Nic::arrive(Time at_port, int src, std::uint64_t bytes, Deliver deliver) {
+  auto& engine = fabric_->engine();
+  const auto& p = fabric_->params();
+
+  // rx port occupancy.
+  rx_avail_ = std::max(at_port, rx_avail_) + p.nic_gap_ns;
+  const Time done = rx_avail_;
+  fabric_->trace().record(done, TraceEvent::kMsgArrive, node_, src, bytes);
+
+  ++rx_messages_;
+  auto& c = fabric_->counters();
+  ++c.messages_delivered;
+  c.bytes_delivered += bytes;
+
+  engine.at(done, [done, deliver = std::move(deliver)] { deliver(done); });
+}
+
+Time Nic::occupy_command_processor(Time ready, Time cost) {
+  cp_avail_ = std::max(ready, cp_avail_) + cost;
+  return cp_avail_;
+}
+
+}  // namespace nvgas::sim

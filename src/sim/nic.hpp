@@ -1,0 +1,62 @@
+// Simulated network interface.
+//
+// Each node owns one NIC with three modelled resources:
+//   * tx port  — serializes outgoing messages (g + size·G each),
+//   * rx port  — serializes incoming messages (g each),
+//   * command processor — executes NIC-resident work (DMA setup, TLB
+//     lookups, forwards, atomics) WITHOUT involving the node's CPU.
+// The command processor is the hardware the paper's contribution leans
+// on: one-sided GVA operations ride it end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/counters.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/time.hpp"
+
+namespace nvgas::sim {
+
+class Fabric;
+
+class Nic {
+ public:
+  // `deliver` runs as an engine event at the destination NIC once the
+  // message clears the destination rx port; its argument is that time.
+  using Deliver = std::function<void(Time arrived)>;
+
+  Nic(Fabric& fabric, int node) : fabric_(&fabric), node_(node) {}
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // Inject `bytes` toward `dst`, departing no earlier than `depart`
+  // (callers pass TaskCtx::now() so CPU work preceding the send delays it).
+  void send(Time depart, int dst, std::uint64_t bytes, Deliver deliver);
+
+  // Reserve the command processor from `ready` for `cost` ns; returns the
+  // completion time. Used by NIC-level op handlers.
+  Time occupy_command_processor(Time ready, Time cost);
+
+  [[nodiscard]] int node() const { return node_; }
+  [[nodiscard]] std::uint64_t tx_messages() const { return tx_messages_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_messages() const { return rx_messages_; }
+
+ private:
+  friend class Fabric;
+  // Called on the destination NIC when a message hits its rx port.
+  void arrive(Time at_port, int src, std::uint64_t bytes, Deliver deliver);
+
+  Fabric* fabric_;
+  int node_;
+  Time tx_avail_ = 0;
+  Time rx_avail_ = 0;
+  Time cp_avail_ = 0;
+  std::uint64_t tx_messages_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_messages_ = 0;
+};
+
+}  // namespace nvgas::sim

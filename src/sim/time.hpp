@@ -1,0 +1,25 @@
+// Simulated time base: unsigned nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace nvgas::sim {
+
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+// Convert a byte count and a per-byte cost in (possibly fractional)
+// nanoseconds into an integral duration, rounding up so that zero-cost
+// transfers of nonzero size never happen when the rate is nonzero.
+constexpr Time bytes_time(std::uint64_t bytes, double ns_per_byte) {
+  if (bytes == 0 || ns_per_byte <= 0.0) return 0;
+  const double t = static_cast<double>(bytes) * ns_per_byte;
+  const auto whole = static_cast<Time>(t);
+  return whole + (static_cast<double>(whole) < t ? 1 : 0);
+}
+
+}  // namespace nvgas::sim

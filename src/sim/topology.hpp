@@ -1,0 +1,109 @@
+// Interconnect topology models.
+//
+// The fabric charges a per-pair one-way latency; topologies differ in how
+// many switch hops separate two nodes. Three models cover the machines
+// this class of system runs on:
+//
+//   * kFlat      — single full-crossbar switch: every pair is 1 hop.
+//   * kTorus2D   — nodes arranged in a near-square 2-D torus; hops =
+//                  Manhattan distance with wraparound.
+//   * kDragonfly — two-level groups of `group_size` nodes: 1 hop inside
+//                  a group, 3 hops (local-global-local) across groups.
+//
+// latency(src, dst) = base wire latency + (hops-1) · per_hop extra.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace nvgas::sim {
+
+enum class TopologyKind : std::uint8_t { kFlat = 0, kTorus2D = 1, kDragonfly = 2 };
+
+[[nodiscard]] constexpr const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kFlat: return "flat";
+    case TopologyKind::kTorus2D: return "torus2d";
+    case TopologyKind::kDragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+class Topology {
+ public:
+  Topology(TopologyKind kind, int nodes, int dragonfly_group_size = 4)
+      : kind_(kind), nodes_(nodes), group_size_(dragonfly_group_size) {
+    NVGAS_CHECK(nodes_ >= 1);
+    NVGAS_CHECK(group_size_ >= 1);
+    if (kind_ == TopologyKind::kTorus2D) {
+      // Near-square factorization: the largest divisor <= sqrt(nodes).
+      cols_ = 1;
+      for (int d = 1; d * d <= nodes_; ++d) {
+        if (nodes_ % d == 0) cols_ = d;
+      }
+      rows_ = nodes_ / cols_;
+    }
+  }
+
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] int nodes() const { return nodes_; }
+
+  // Switch hops between two distinct nodes (>= 1).
+  [[nodiscard]] int hops(int src, int dst) const {
+    NVGAS_DCHECK(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_);
+    if (src == dst) return 0;
+    switch (kind_) {
+      case TopologyKind::kFlat:
+        return 1;
+      case TopologyKind::kTorus2D: {
+        const int r1 = src / cols_;
+        const int c1 = src % cols_;
+        const int r2 = dst / cols_;
+        const int c2 = dst % cols_;
+        const int dr = torus_dist(r1, r2, rows_);
+        const int dc = torus_dist(c1, c2, cols_);
+        return dr + dc;
+      }
+      case TopologyKind::kDragonfly:
+        return src / group_size_ == dst / group_size_ ? 1 : 3;
+    }
+    return 1;
+  }
+
+  // One-way latency for the pair given the base (1-hop) wire latency and
+  // the per-extra-hop increment.
+  [[nodiscard]] Time latency(int src, int dst, Time base, Time per_hop) const {
+    if (src == dst) return 0;
+    const int h = hops(src, dst);
+    return base + static_cast<Time>(h - 1) * per_hop;
+  }
+
+  // Diameter in hops (worst pair), useful for tests and reporting.
+  [[nodiscard]] int diameter() const {
+    int worst = 0;
+    for (int a = 0; a < nodes_; ++a) {
+      for (int b = 0; b < nodes_; ++b) {
+        worst = std::max(worst, hops(a, b));
+      }
+    }
+    return worst;
+  }
+
+ private:
+  static int torus_dist(int a, int b, int extent) {
+    const int d = a > b ? a - b : b - a;
+    return std::min(d, extent - d);
+  }
+
+  TopologyKind kind_;
+  int nodes_;
+  int group_size_;
+  int rows_ = 1;
+  int cols_ = 1;
+};
+
+}  // namespace nvgas::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace nvgas::sim {
+
+std::string Trace::render() const {
+  std::string out;
+  char line[128];
+  for (const auto& r : records_) {
+    switch (r.event) {
+      case TraceEvent::kMsgSend:
+        std::snprintf(line, sizeof line, "%10llu  send   %3d -> %-3d  %llu B\n",
+                      static_cast<unsigned long long>(r.t), r.node, r.peer,
+                      static_cast<unsigned long long>(r.bytes));
+        break;
+      case TraceEvent::kMsgArrive:
+        std::snprintf(line, sizeof line, "%10llu  arrive %3d <- %-3d  %llu B\n",
+                      static_cast<unsigned long long>(r.t), r.node, r.peer,
+                      static_cast<unsigned long long>(r.bytes));
+        break;
+      case TraceEvent::kCpuTask:
+        std::snprintf(line, sizeof line, "%10llu  cpu    %3d  (%llu ns)\n",
+                      static_cast<unsigned long long>(r.t), r.node,
+                      static_cast<unsigned long long>(r.bytes));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nvgas::sim

@@ -1,0 +1,85 @@
+// Optional event trace: a flat record of message and CPU activity.
+//
+// Disabled by default (zero overhead beyond a branch); tests enable it to
+// assert protocol *structure* — e.g. "a one-sided put is exactly four
+// wire events and zero CPU tasks at the target" — and developers enable
+// it to debug protocol interleavings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nvgas::sim {
+
+enum class TraceEvent : std::uint8_t {
+  kMsgSend = 0,   // node -> peer, bytes on the wire
+  kMsgArrive,     // at node, from peer
+  kCpuTask,       // task ran on node; bytes field holds the charged ns
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kMsgSend: return "send";
+    case TraceEvent::kMsgArrive: return "arrive";
+    case TraceEvent::kCpuTask: return "cpu";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  Time t = 0;
+  TraceEvent event = TraceEvent::kMsgSend;
+  std::int16_t node = -1;   // acting node
+  std::int16_t peer = -1;   // other side (messages only)
+  std::uint64_t bytes = 0;  // wire bytes, or charged ns for kCpuTask
+};
+
+class Trace {
+ public:
+  void enable(std::size_t capacity = 1u << 20) {
+    enabled_ = true;
+    capacity_ = capacity;
+    records_.clear();
+    records_.reserve(std::min<std::size_t>(capacity, 4096));
+  }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Time t, TraceEvent event, int node, int peer, std::uint64_t bytes) {
+    if (!enabled_ || records_.size() >= capacity_) return;
+    records_.push_back(TraceRecord{t, event, static_cast<std::int16_t>(node),
+                                   static_cast<std::int16_t>(peer), bytes});
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+  [[nodiscard]] std::vector<TraceRecord> of(TraceEvent event) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+      if (r.event == event) out.push_back(r);
+    }
+    return out;
+  }
+
+  // Count of CPU tasks recorded on `node`.
+  [[nodiscard]] std::size_t cpu_tasks_on(int node) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.event == TraceEvent::kCpuTask && r.node == node) ++n;
+    }
+    return n;
+  }
+
+  // One line per record, for debugging and golden-ish tests.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace nvgas::sim

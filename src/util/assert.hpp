@@ -1,0 +1,45 @@
+// Always-on runtime checks for invariants that must hold in release builds.
+//
+// The simulator is deterministic, so a failed check is always reproducible;
+// we prefer loud immediate aborts with context over undefined behaviour.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvgas::util {
+
+[[noreturn]] inline void panic(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "nvgas: panic at %s:%d: %s\n", file, line, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nvgas::util
+
+// NVGAS_CHECK is active in all build types: it guards protocol invariants
+// (lost completions, double frees, heap corruption) whose violation would
+// silently corrupt simulation results.
+#define NVGAS_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::nvgas::util::panic(__FILE__, __LINE__, "check failed: " #cond); \
+    }                                                              \
+  } while (false)
+
+#define NVGAS_CHECK_MSG(cond, msg)                                 \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::nvgas::util::panic(__FILE__, __LINE__, msg);               \
+    }                                                              \
+  } while (false)
+
+// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define NVGAS_DCHECK(cond) ((void)0)
+#else
+#define NVGAS_DCHECK(cond) NVGAS_CHECK(cond)
+#endif
+
+#define NVGAS_UNREACHABLE() \
+  ::nvgas::util::panic(__FILE__, __LINE__, "unreachable code reached")

@@ -1,0 +1,40 @@
+// Small bit-manipulation helpers shared by the address codec and
+// allocators.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace nvgas::util {
+
+// Smallest power of two >= x (x must be >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  return std::bit_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// floor(log2(x)); x must be nonzero.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+// ceil(log2(x)); x must be nonzero. ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0u : floor_log2(x - 1) + 1;
+}
+
+// Mask with the low `bits` bits set; bits may be 0..64.
+constexpr std::uint64_t low_mask(unsigned bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+constexpr std::uint64_t round_up(std::uint64_t x, std::uint64_t align) {
+  return (x + align - 1) / align * align;
+}
+
+constexpr std::uint64_t div_ceil(std::uint64_t x, std::uint64_t y) {
+  return (x + y - 1) / y;
+}
+
+}  // namespace nvgas::util

@@ -1,0 +1,96 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nvgas::util {
+
+int LogHistogram::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value) - 1;
+}
+
+std::uint64_t LogHistogram::bucket_floor(int bucket) {
+  return bucket == 0 ? 0 : (1ULL << bucket);
+}
+
+void LogHistogram::add(std::uint64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() { *this = LogHistogram{}; }
+
+double LogHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double LogHistogram::percentile(double p) const {
+  NVGAS_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi = static_cast<double>(bucket_floor(i)) * 2.0;
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LogHistogram::render(int width) const {
+  std::string out;
+  if (count_ == 0) return "(empty)\n";
+  std::uint64_t peak = 0;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    const int bar =
+        std::max(1, static_cast<int>(static_cast<double>(n) * width / static_cast<double>(peak)));
+    char line[160];
+    std::snprintf(line, sizeof line, "%12s..%-12s | %-*s %llu\n",
+                  format_ns(static_cast<double>(bucket_floor(i))).c_str(),
+                  format_ns(static_cast<double>(bucket_floor(i)) * 2.0).c_str(), width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  static_cast<unsigned long long>(n));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nvgas::util

@@ -1,0 +1,45 @@
+// Log2-bucketed histogram for latency distributions.
+//
+// Buckets are [2^k, 2^(k+1)) nanoseconds; memory is fixed (64 buckets) so
+// a histogram can live inside per-node counters without allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nvgas::util {
+
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t value);
+  void merge(const LogHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t total() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return count_ ? max_ : 0; }
+
+  // Approximate percentile: linear interpolation within the bucket.
+  [[nodiscard]] double percentile(double p) const;
+
+  // Multi-line ASCII rendering ("2us..4us | #### 123").
+  [[nodiscard]] std::string render(int width = 40) const;
+
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+  static int bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_floor(int bucket);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace nvgas::util

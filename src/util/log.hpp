@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so no locking is needed on the hot
+// path; the level check is a single branch. Benchmarks run with the logger
+// at kWarn so that tracing never perturbs reported numbers.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace nvgas::util {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // printf-style; prefix carries the level tag.
+  void write(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+  void vwrite(LogLevel level, const char* fmt, std::va_list args);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+}  // namespace nvgas::util
+
+#define NVGAS_LOG(level, ...)                                              \
+  do {                                                                     \
+    auto& nvgas_logger_ = ::nvgas::util::Logger::instance();               \
+    if (nvgas_logger_.enabled(level)) nvgas_logger_.write(level, __VA_ARGS__); \
+  } while (false)
+
+#define NVGAS_TRACE(...) NVGAS_LOG(::nvgas::util::LogLevel::kTrace, __VA_ARGS__)
+#define NVGAS_DEBUG(...) NVGAS_LOG(::nvgas::util::LogLevel::kDebug, __VA_ARGS__)
+#define NVGAS_INFO(...) NVGAS_LOG(::nvgas::util::LogLevel::kInfo, __VA_ARGS__)
+#define NVGAS_WARN(...) NVGAS_LOG(::nvgas::util::LogLevel::kWarn, __VA_ARGS__)
+#define NVGAS_ERROR(...) NVGAS_LOG(::nvgas::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,74 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace nvgas::util {
+
+Options::Options(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positionals_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return flags_.count(key) != 0; }
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t Options::get_uint(const std::string& key, std::uint64_t def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::uint64_t> Options::get_uint_list(
+    const std::string& key, std::vector<std::uint64_t> def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  std::vector<std::uint64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoull(s.substr(pos, comma - pos).c_str(), nullptr, 0));
+    pos = comma + 1;
+  }
+  NVGAS_CHECK_MSG(!out.empty(), "empty list option");
+  return out;
+}
+
+}  // namespace nvgas::util

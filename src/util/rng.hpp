@@ -1,0 +1,138 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole simulator must be reproducible from a single seed, so all
+// randomness flows through explicitly-seeded generators (never
+// std::random_device). Xoroshiro128++ is small, fast and has good
+// statistical quality for workload generation; SplitMix64 expands seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nvgas::util {
+
+// SplitMix64: used to derive well-mixed state from arbitrary seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoroshiro128++ (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    s0_ = sm.next();
+    s1_ = sm.next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // avoid the all-zero state
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t s0 = s0_;
+    std::uint64_t s1 = s1_;
+    const std::uint64_t result = rotl(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    s0_ = rotl(s0, 49) ^ s1 ^ (s1 << 21);
+    s1_ = rotl(s1, 28);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    NVGAS_DCHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    NVGAS_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  // Double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s0_ = 0;
+  std::uint64_t s1_ = 0;
+};
+
+// Zipf-distributed integers in [0, n) with exponent s, used for skewed
+// (hot-spot) workload generation. Precomputes the CDF once; sampling is a
+// binary search. Memory is O(n), fine for the ≤2^20 key ranges we use.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double s) : cdf_(n) {
+    NVGAS_CHECK(n > 0);
+    double accum = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      accum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = accum;
+    }
+    const double total = accum;
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::uint64_t domain() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nvgas::util

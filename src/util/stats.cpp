@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace nvgas::util {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  NVGAS_CHECK(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  NVGAS_CHECK(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Samples::percentile(double p) const {
+  NVGAS_CHECK(!values_.empty());
+  NVGAS_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%llu KiB", static_cast<unsigned long long>(bytes / 1024));
+  } else if (bytes < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%llu MiB",
+                  static_cast<unsigned long long>(bytes / (1024ULL * 1024)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string format_rate(double per_sec) {
+  char buf[64];
+  if (per_sec < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1f /s", per_sec);
+  } else if (per_sec < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f K/s", per_sec / 1e3);
+  } else if (per_sec < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f M/s", per_sec / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f G/s", per_sec / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace nvgas::util

@@ -1,0 +1,126 @@
+// Differential testing: the three address-space managers are different
+// IMPLEMENTATIONS of the same abstract memory — any serialized program
+// must observe identical values and leave identical final images on all
+// of them (migrations aside, which only the mobile managers run).
+#include <gtest/gtest.h>
+
+#include "core/nvgas.hpp"
+
+namespace nvgas {
+namespace {
+
+struct OpRecord {
+  enum class Kind : std::uint8_t { kPut, kGet, kFadd } kind;
+  std::uint64_t word;
+  std::uint64_t value;  // put value / fadd operand
+};
+
+// Deterministic op tape (shared across modes).
+std::vector<OpRecord> make_tape(std::uint64_t seed, std::uint64_t words,
+                                int ops) {
+  util::Rng rng(seed);
+  std::vector<OpRecord> tape;
+  tape.reserve(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    OpRecord r{};
+    r.kind = static_cast<OpRecord::Kind>(rng.below(3));
+    r.word = rng.below(words);
+    r.value = rng.next() >> 8;
+    tape.push_back(r);
+  }
+  return tape;
+}
+
+struct RunResult {
+  std::vector<std::uint64_t> gets;        // every observed get value
+  std::vector<std::uint64_t> fadd_olds;   // every fetch-add old value
+  std::vector<std::uint64_t> final_image; // word values after the run
+};
+
+RunResult run_tape(GasMode mode, const std::vector<OpRecord>& tape,
+                   std::uint64_t words, bool with_migrations) {
+  constexpr std::uint32_t kBlockSize = 512;
+  Config cfg = Config::with_nodes(8, mode);
+  cfg.machine.mem_bytes_per_node = 4u << 20;
+  World world(cfg);
+  RunResult out;
+  const auto blocks =
+      static_cast<std::uint32_t>((words * 8 + kBlockSize - 1) / kBlockSize);
+
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, blocks, kBlockSize);
+    util::Rng mig_rng(777);
+    int since_migration = 0;
+    for (const auto& op : tape) {
+      const Gva addr =
+          base.advanced(static_cast<std::int64_t>(op.word) * 8, kBlockSize);
+      switch (op.kind) {
+        case OpRecord::Kind::kPut:
+          co_await memput_value<std::uint64_t>(ctx, addr, op.value);
+          break;
+        case OpRecord::Kind::kGet:
+          out.gets.push_back(co_await memget_value<std::uint64_t>(ctx, addr));
+          break;
+        case OpRecord::Kind::kFadd:
+          out.fadd_olds.push_back(co_await fetch_add(ctx, addr, op.value));
+          break;
+      }
+      if (with_migrations && world.gas().supports_migration() &&
+          ++since_migration >= 23) {
+        since_migration = 0;
+        co_await migrate(ctx, addr, static_cast<int>(mig_rng.below(8)));
+      }
+    }
+    for (std::uint64_t w = 0; w < words; ++w) {
+      const Gva addr =
+          base.advanced(static_cast<std::int64_t>(w) * 8, kBlockSize);
+      out.final_image.push_back(co_await memget_value<std::uint64_t>(ctx, addr));
+    }
+  });
+  world.run();
+  return out;
+}
+
+TEST(Differential, AllManagersObserveIdenticalSemantics) {
+  const std::uint64_t words = 1024;
+  const auto tape = make_tape(0xd1f, words, 500);
+  const RunResult pgas = run_tape(GasMode::kPgas, tape, words, false);
+  const RunResult sw = run_tape(GasMode::kAgasSw, tape, words, false);
+  const RunResult net = run_tape(GasMode::kAgasNet, tape, words, false);
+  EXPECT_EQ(pgas.gets, sw.gets);
+  EXPECT_EQ(pgas.gets, net.gets);
+  EXPECT_EQ(pgas.fadd_olds, sw.fadd_olds);
+  EXPECT_EQ(pgas.fadd_olds, net.fadd_olds);
+  EXPECT_EQ(pgas.final_image, sw.final_image);
+  EXPECT_EQ(pgas.final_image, net.final_image);
+}
+
+TEST(Differential, MigrationChurnDoesNotChangeSemantics) {
+  // The mobile managers, with migrations injected every 23 ops, must
+  // still agree with immobile PGAS on every observed value.
+  const std::uint64_t words = 512;
+  const auto tape = make_tape(0xabcd, words, 400);
+  const RunResult pgas = run_tape(GasMode::kPgas, tape, words, false);
+  const RunResult sw = run_tape(GasMode::kAgasSw, tape, words, true);
+  const RunResult net = run_tape(GasMode::kAgasNet, tape, words, true);
+  EXPECT_EQ(pgas.gets, sw.gets);
+  EXPECT_EQ(pgas.gets, net.gets);
+  EXPECT_EQ(pgas.fadd_olds, sw.fadd_olds);
+  EXPECT_EQ(pgas.fadd_olds, net.fadd_olds);
+  EXPECT_EQ(pgas.final_image, sw.final_image);
+  EXPECT_EQ(pgas.final_image, net.final_image);
+}
+
+TEST(Differential, SameModeSameSeedIsBitIdentical) {
+  const std::uint64_t words = 256;
+  const auto tape = make_tape(42, words, 300);
+  for (GasMode mode : {GasMode::kPgas, GasMode::kAgasSw, GasMode::kAgasNet}) {
+    const RunResult a = run_tape(mode, tape, words, true);
+    const RunResult b = run_tape(mode, tape, words, true);
+    EXPECT_EQ(a.gets, b.gets) << gas::to_string(mode);
+    EXPECT_EQ(a.final_image, b.final_image) << gas::to_string(mode);
+  }
+}
+
+}  // namespace
+}  // namespace nvgas

@@ -1,0 +1,135 @@
+#include "gas/gva.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace nvgas::gas {
+namespace {
+
+TEST(Gva, FieldRoundTrip) {
+  const Gva g = Gva::make(Dist::kCyclic, 37, 1234, 98765, 4321);
+  EXPECT_EQ(g.dist(), Dist::kCyclic);
+  EXPECT_EQ(g.creator(), 37);
+  EXPECT_EQ(g.alloc_id(), 1234u);
+  EXPECT_EQ(g.block(), 98765u);
+  EXPECT_EQ(g.offset(), 4321u);
+}
+
+TEST(Gva, NullIsDistinguishable) {
+  Gva g;
+  EXPECT_TRUE(g.null());
+  EXPECT_FALSE(Gva::make(Dist::kCyclic, 0, 1, 0, 0).null());
+}
+
+TEST(Gva, FieldRoundTripRandomized) {
+  util::Rng rng(404);
+  for (int i = 0; i < 5000; ++i) {
+    const auto dist = rng.chance(0.5) ? Dist::kLocal : Dist::kCyclic;
+    const int creator = static_cast<int>(rng.below(1 << Gva::kCreatorBits));
+    const auto alloc = static_cast<std::uint32_t>(rng.below(Gva::kMaxAllocs) + 1);
+    const auto block = static_cast<std::uint32_t>(rng.below(Gva::kMaxBlocks));
+    const auto off = static_cast<std::uint32_t>(rng.below(Gva::kMaxBlockSize));
+    const Gva g = Gva::make(dist, creator, alloc, block, off);
+    ASSERT_EQ(g.dist(), dist);
+    ASSERT_EQ(g.creator(), creator);
+    ASSERT_EQ(g.alloc_id(), alloc);
+    ASSERT_EQ(g.block(), block);
+    ASSERT_EQ(g.offset(), off);
+  }
+}
+
+TEST(Gva, BlockKeyIgnoresOffset) {
+  const Gva a = Gva::make(Dist::kCyclic, 1, 2, 3, 0);
+  const Gva b = Gva::make(Dist::kCyclic, 1, 2, 3, 999);
+  const Gva c = Gva::make(Dist::kCyclic, 1, 2, 4, 0);
+  EXPECT_EQ(a.block_key(), b.block_key());
+  EXPECT_NE(a.block_key(), c.block_key());
+  EXPECT_EQ(b.block_base(), a);
+}
+
+TEST(Gva, HomeCyclicWrapsOverRanks) {
+  const int ranks = 7;
+  for (std::uint32_t b = 0; b < 50; ++b) {
+    const Gva g = Gva::make(Dist::kCyclic, 3, 1, b, 0);
+    EXPECT_EQ(g.home(ranks), static_cast<int>((3 + b) % 7));
+  }
+}
+
+TEST(Gva, HomeLocalIsCreator) {
+  for (std::uint32_t b = 0; b < 10; ++b) {
+    const Gva g = Gva::make(Dist::kLocal, 5, 1, b, 0);
+    EXPECT_EQ(g.home(64), 5);
+  }
+}
+
+TEST(Gva, AdvanceWithinBlock) {
+  const Gva g = Gva::make(Dist::kCyclic, 0, 1, 10, 100);
+  const Gva h = g.advanced(28, 4096);
+  EXPECT_EQ(h.block(), 10u);
+  EXPECT_EQ(h.offset(), 128u);
+}
+
+TEST(Gva, AdvanceCrossesBlocks) {
+  const Gva g = Gva::make(Dist::kCyclic, 0, 1, 10, 4000);
+  const Gva h = g.advanced(200, 4096);
+  EXPECT_EQ(h.block(), 11u);
+  EXPECT_EQ(h.offset(), 104u);
+}
+
+TEST(Gva, AdvanceBackward) {
+  const Gva g = Gva::make(Dist::kCyclic, 0, 1, 10, 0);
+  const Gva h = g.advanced(-1, 4096);
+  EXPECT_EQ(h.block(), 9u);
+  EXPECT_EQ(h.offset(), 4095u);
+}
+
+TEST(Gva, AdvanceIsAdditive) {
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const auto bsize = static_cast<std::uint32_t>(rng.range(1, 65536));
+    const auto block = static_cast<std::uint32_t>(rng.below(1000));
+    const auto off = static_cast<std::uint32_t>(rng.below(bsize));
+    const Gva g = Gva::make(Dist::kCyclic, 2, 9, block, off);
+    const std::int64_t d1 = rng.range(0, 100000);
+    const std::int64_t d2 = rng.range(0, 100000);
+    ASSERT_EQ(g.advanced(d1, bsize).advanced(d2, bsize).bits(),
+              g.advanced(d1 + d2, bsize).bits());
+  }
+}
+
+TEST(Gva, AdvanceUnderflowAborts) {
+  const Gva g = Gva::make(Dist::kCyclic, 0, 1, 0, 0);
+  EXPECT_DEATH((void)g.advanced(-1, 4096), "underflow");
+}
+
+TEST(Gva, OrderingFollowsLinearIndexWithinAlloc) {
+  const std::uint32_t bsize = 512;
+  const Gva a = Gva::make(Dist::kCyclic, 0, 1, 3, 100);
+  const Gva b = a.advanced(1, bsize);
+  const Gva c = a.advanced(static_cast<std::int64_t>(bsize), bsize);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Gva, ToStringIsReadable) {
+  EXPECT_EQ(to_string(Gva{}), "gva{null}");
+  const Gva g = Gva::make(Dist::kCyclic, 3, 17, 42, 0x80);
+  EXPECT_EQ(to_string(g), "gva{cyclic c3 a17 b42 +0x80}");
+  const Gva l = Gva::make(Dist::kLocal, 9, 1, 0, 0);
+  EXPECT_EQ(to_string(l), "gva{local c9 a1 b0 +0x0}");
+  std::ostringstream oss;
+  oss << g;
+  EXPECT_EQ(oss.str(), to_string(g));
+}
+
+TEST(Gva, MaxNodeCountEncodes) {
+  const Gva g = Gva::make(Dist::kCyclic, Gva::kMaxNodes - 1, 1, 0, 0);
+  EXPECT_EQ(g.creator(), Gva::kMaxNodes - 1);
+  EXPECT_EQ(g.home(Gva::kMaxNodes), Gva::kMaxNodes - 1);
+}
+
+}  // namespace
+}  // namespace nvgas::gas

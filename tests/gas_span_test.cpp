@@ -1,0 +1,124 @@
+// Spanning (multi-block) transfers.
+#include <gtest/gtest.h>
+
+#include "core/nvgas.hpp"
+
+namespace nvgas {
+namespace {
+
+class SpanTest : public ::testing::TestWithParam<GasMode> {
+ protected:
+  Config make_config() const {
+    Config cfg = Config::with_nodes(8, GetParam());
+    cfg.machine.mem_bytes_per_node = 16u << 20;
+    return cfg;
+  }
+};
+
+std::string mode_name(const ::testing::TestParamInfo<GasMode>& info) {
+  switch (info.param) {
+    case GasMode::kPgas: return "pgas";
+    case GasMode::kAgasSw: return "agassw";
+    case GasMode::kAgasNet: return "agasnet";
+  }
+  return "x";
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t salt) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((i * 131 + salt) & 0xff);
+  }
+  return out;
+}
+
+TEST_P(SpanTest, RoundTripAcrossManyBlocks) {
+  World world(make_config());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 16, 1024);
+    const auto data = pattern(10 * 1024 + 300, 7);  // spans ~11 blocks
+    co_await memput_span(ctx, base, data);
+    const auto back = co_await memget_span(ctx, base, data.size());
+    EXPECT_EQ(back, data);
+  });
+  world.run();
+}
+
+TEST_P(SpanTest, UnalignedStartAndEnd) {
+  World world(make_config());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 8, 512);
+    const Gva start = base.advanced(300, 512);  // mid-block start
+    const auto data = pattern(512 + 100, 9);    // ends mid-block too
+    co_await memput_span(ctx, start, data);
+    const auto back = co_await memget_span(ctx, start, data.size());
+    EXPECT_EQ(back, data);
+    // Neighbouring bytes untouched.
+    const auto before = co_await memget(ctx, base.advanced(299, 512), 1);
+    EXPECT_EQ(before[0], std::byte{0});
+  });
+  world.run();
+}
+
+TEST_P(SpanTest, WithinOneBlockStillWorks) {
+  World world(make_config());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 2, 4096);
+    const auto data = pattern(100, 3);
+    co_await memput_span(ctx, base.advanced(10, 4096), data);
+    const auto back = co_await memget_span(ctx, base.advanced(10, 4096), 100);
+    EXPECT_EQ(back, data);
+  });
+  world.run();
+}
+
+TEST_P(SpanTest, EmptyTransfersCompleteImmediately) {
+  World world(make_config());
+  bool done = false;
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 2, 256);
+    co_await memput_span(ctx, base, {});
+    const auto back = co_await memget_span(ctx, base, 0);
+    EXPECT_TRUE(back.empty());
+    done = true;
+  });
+  world.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_P(SpanTest, SpanOverMigratedBlocks) {
+  if (GetParam() == GasMode::kPgas) GTEST_SKIP();
+  World world(make_config());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 6, 1024);
+    // Scatter the blocks before writing.
+    for (int b = 0; b < 6; ++b) {
+      co_await migrate(ctx, base.advanced(b * 1024, 1024), (b * 3 + 1) % 8);
+    }
+    const auto data = pattern(6 * 1024, 5);
+    co_await memput_span(ctx, base, data);
+    const auto back = co_await memget_span(ctx, base, data.size());
+    EXPECT_EQ(back, data);
+  });
+  world.run();
+}
+
+TEST_P(SpanTest, WholeAllocationExactFit) {
+  World world(make_config());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 4, 2048);
+    const auto data = pattern(4 * 2048, 1);  // exactly the allocation
+    co_await memput_span(ctx, base, data);
+    const auto back = co_await memget_span(ctx, base, data.size());
+    EXPECT_EQ(back, data);
+  });
+  world.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SpanTest,
+                         ::testing::Values(GasMode::kPgas, GasMode::kAgasSw,
+                                           GasMode::kAgasNet),
+                         mode_name);
+
+}  // namespace
+}  // namespace nvgas

@@ -1,0 +1,145 @@
+#include "net/nic_tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nvgas::net {
+namespace {
+
+TlbEntry entry(int owner, sim::Lva base = 0, std::uint32_t gen = 0,
+               bool pinned = false) {
+  TlbEntry e;
+  e.owner = owner;
+  e.base = base;
+  e.generation = gen;
+  e.pinned = pinned;
+  return e;
+}
+
+TEST(NicTlb, InsertLookup) {
+  NicTlb tlb(8);
+  EXPECT_TRUE(tlb.insert(42, entry(3, 0x1000, 7)));
+  auto e = tlb.lookup(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->owner, 3);
+  EXPECT_EQ(e->base, 0x1000u);
+  EXPECT_EQ(e->generation, 7u);
+  EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(NicTlb, MissCounted) {
+  NicTlb tlb(8);
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(NicTlb, OverwriteUpdates) {
+  NicTlb tlb(8);
+  tlb.insert(5, entry(1));
+  tlb.insert(5, entry(2, 0x20, 1));
+  EXPECT_EQ(tlb.size(), 1u);
+  auto e = tlb.lookup(5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->owner, 2);
+  EXPECT_EQ(e->generation, 1u);
+}
+
+TEST(NicTlb, LruEvictsColdestEntry) {
+  NicTlb tlb(3);
+  tlb.insert(1, entry(1));
+  tlb.insert(2, entry(2));
+  tlb.insert(3, entry(3));
+  // Touch 1 so 2 becomes coldest.
+  (void)tlb.lookup(1);
+  tlb.insert(4, entry(4));
+  EXPECT_EQ(tlb.size(), 3u);
+  EXPECT_TRUE(tlb.lookup(1).has_value());
+  EXPECT_FALSE(tlb.lookup(2).has_value());
+  EXPECT_TRUE(tlb.lookup(3).has_value());
+  EXPECT_TRUE(tlb.lookup(4).has_value());
+  EXPECT_EQ(tlb.evictions(), 1u);
+}
+
+TEST(NicTlb, PinnedEntriesSurviveEvictionPressure) {
+  NicTlb tlb(2);
+  tlb.insert(10, entry(0, 0, 0, /*pinned=*/true));
+  tlb.insert(11, entry(1));
+  tlb.insert(12, entry(2));
+  tlb.insert(13, entry(3));  // evicts 11, not the pinned 10
+  EXPECT_TRUE(tlb.lookup(10).has_value());
+  EXPECT_FALSE(tlb.lookup(11).has_value());
+  EXPECT_TRUE(tlb.lookup(12).has_value());
+  EXPECT_TRUE(tlb.lookup(13).has_value());
+}
+
+TEST(NicTlb, PinnedEntriesDoNotConsumeCacheCapacity) {
+  // The directory region is separate: many pinned entries coexist with a
+  // full cache of unpinned ones.
+  NicTlb tlb(2);
+  for (std::uint64_t k = 100; k < 110; ++k) {
+    EXPECT_TRUE(tlb.insert(k, entry(0, 0, 0, true)));
+  }
+  tlb.insert(1, entry(1));
+  tlb.insert(2, entry(2));
+  tlb.insert(3, entry(3));  // evicts 1
+  EXPECT_EQ(tlb.size(), 12u);
+  EXPECT_FALSE(tlb.lookup(1).has_value());
+  for (std::uint64_t k = 100; k < 110; ++k) {
+    EXPECT_TRUE(tlb.lookup(k).has_value());
+  }
+}
+
+TEST(NicTlb, PinTransitionMaintainsBookkeeping) {
+  NicTlb tlb(4);
+  tlb.insert(1, entry(0));               // unpinned
+  tlb.insert(1, entry(0, 0, 1, true));   // now pinned
+  tlb.insert(2, entry(1));
+  tlb.insert(3, entry(2));
+  tlb.insert(4, entry(3));
+  tlb.insert(5, entry(4));               // evicts an unpinned entry
+  EXPECT_TRUE(tlb.lookup(1).has_value());
+  // Unpin again.
+  tlb.insert(1, entry(0, 0, 2, false));
+  auto e = tlb.lookup(1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(e->pinned);
+}
+
+TEST(NicTlb, FindGivesMutableAccess) {
+  NicTlb tlb(4);
+  tlb.insert(7, entry(1, 0, 0));
+  TlbEntry* e = tlb.find(7);
+  ASSERT_NE(e, nullptr);
+  e->in_flight = true;
+  e->generation = 9;
+  auto seen = tlb.lookup(7);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_TRUE(seen->in_flight);
+  EXPECT_EQ(seen->generation, 9u);
+  EXPECT_EQ(tlb.find(999), nullptr);
+}
+
+TEST(NicTlb, EraseRemoves) {
+  NicTlb tlb(4);
+  tlb.insert(1, entry(0));
+  tlb.insert(2, entry(0, 0, 0, true));
+  tlb.erase(1);
+  tlb.erase(2);
+  tlb.erase(3);  // no-op
+  EXPECT_EQ(tlb.size(), 0u);
+  // Capacity restored: can insert two unpinned + evictions work.
+  tlb.insert(4, entry(0));
+  tlb.insert(5, entry(0));
+  EXPECT_EQ(tlb.size(), 2u);
+}
+
+TEST(NicTlb, HeavyChurnStaysWithinCapacity) {
+  NicTlb tlb(16);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    tlb.insert(i, entry(static_cast<int>(i % 7)));
+    EXPECT_LE(tlb.size(), 16u);
+  }
+  EXPECT_EQ(tlb.evictions(), 1000u - 16u);
+}
+
+}  // namespace
+}  // namespace nvgas::net

@@ -1,0 +1,159 @@
+// LCO and action edge cases beyond the basics.
+#include <gtest/gtest.h>
+
+#include "net/endpoint.hpp"
+#include "rt/runtime.hpp"
+#include "sim/fabric.hpp"
+
+namespace nvgas::rt {
+namespace {
+
+struct LcoEdgeFixture : ::testing::Test {
+  LcoEdgeFixture()
+      : fabric(machine()), group(fabric, net::NetConfig{}), rt(fabric, group) {}
+  static sim::MachineParams machine() {
+    sim::MachineParams p;
+    p.nodes = 4;
+    p.mem_bytes_per_node = 1 << 20;
+    return p;
+  }
+  sim::Fabric fabric;
+  net::EndpointGroup group;
+  Runtime rt;
+};
+
+TEST_F(LcoEdgeFixture, ReduceWithMinOperator) {
+  ReduceLco<std::uint64_t> red(
+      3, ~0ull, [](const std::uint64_t& a, const std::uint64_t& b) {
+        return std::min(a, b);
+      });
+  std::uint64_t result = 0;
+  rt.spawn(0, [&](Context&) -> Fiber {
+    result = co_await red;
+  });
+  for (int i = 0; i < 3; ++i) {
+    rt.spawn(1, [&, i](Context& ctx) -> Fiber {
+      red.contribute(ctx.now(), static_cast<std::uint64_t>(100 - i * 7));
+      co_return;
+    });
+  }
+  fabric.engine().run();
+  EXPECT_EQ(result, 86u);
+}
+
+TEST_F(LcoEdgeFixture, FutureOfStruct) {
+  struct Pose {
+    double x, y, z;
+  };
+  Future<Pose> fut;
+  Pose got{};
+  rt.spawn(0, [&](Context&) -> Fiber {
+    got = co_await fut;
+  });
+  rt.spawn(2, [&](Context& ctx) -> Fiber {
+    fut.set(ctx.now(), Pose{1.0, 2.0, 3.0});
+    co_return;
+  });
+  fabric.engine().run();
+  EXPECT_DOUBLE_EQ(got.y, 2.0);
+  EXPECT_DOUBLE_EQ(got.z, 3.0);
+}
+
+TEST_F(LcoEdgeFixture, ReadingUnsetFutureAborts) {
+  Future<int> fut;
+  EXPECT_DEATH((void)fut.value(), "unset");
+}
+
+TEST_F(LcoEdgeFixture, LcoSetForUnknownIdAborts) {
+  rt.spawn(0, [&](Context& ctx) -> Fiber {
+    ctx.set_lco(LcoRef{1, 424242});  // never registered on rank 1
+    co_return;
+  });
+  EXPECT_DEATH(fabric.engine().run(), "unknown");
+}
+
+TEST_F(LcoEdgeFixture, ReleaseRefMakesIdInvalid) {
+  rt.spawn(0, [&](Context& ctx) -> Fiber {
+    Event ev;
+    const LcoRef ref = ctx.make_ref(ev);
+    ctx.release_ref(ref);
+    EXPECT_EQ(rt.find_lco(0, ref.id), nullptr);
+    co_return;
+  });
+  fabric.engine().run();
+}
+
+TEST_F(LcoEdgeFixture, ReleaseForeignRefAborts) {
+  // The fiber's first segment runs eagerly inside spawn (the CPU model
+  // executes ready tasks synchronously), so the spawn itself must be
+  // inside the death statement.
+  EXPECT_DEATH(
+      {
+        rt.spawn(0, [&](Context& ctx) -> Fiber {
+          ctx.release_ref(LcoRef{2, 1});
+          co_return;
+        });
+        fabric.engine().run();
+      },
+      "foreign");
+}
+
+TEST_F(LcoEdgeFixture, ManySequentialAwaitsInOneFiber) {
+  int completed = 0;
+  rt.spawn(0, [&](Context& ctx) -> Fiber {
+    for (int i = 0; i < 200; ++i) {
+      co_await ctx.sleep(10);
+    }
+    ++completed;
+  });
+  fabric.engine().run();
+  EXPECT_EQ(completed, 1);
+  // Sim time advanced by at least 200 sleeps.
+  EXPECT_GE(fabric.engine().now(), 2000u);
+}
+
+TEST_F(LcoEdgeFixture, ActionArgumentOrderIsDeclarationOrder) {
+  std::vector<std::uint64_t> seen;
+  const auto act = register_action<std::uint8_t, std::uint64_t, std::uint16_t>(
+      rt.actions(), "edge.order",
+      [&](Context&, int, std::uint8_t a, std::uint64_t b, std::uint16_t c) {
+        seen = {a, b, c};
+      });
+  rt.spawn(0, [&](Context& ctx) -> Fiber {
+    ctx.send(1, act,
+             pack_args(std::uint8_t{1}, std::uint64_t{2}, std::uint16_t{3}));
+    co_return;
+  });
+  fabric.engine().run();
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(LcoEdgeFixture, ActionRegistryNamesAreStable) {
+  const auto a = rt.actions().add("edge.a", [](Context&, int, util::Buffer) {});
+  const auto b = rt.actions().add("edge.b", [](Context&, int, util::Buffer) {});
+  EXPECT_EQ(rt.actions().name(a), "edge.a");
+  EXPECT_EQ(rt.actions().name(b), "edge.b");
+  EXPECT_NE(a, b);
+}
+
+TEST_F(LcoEdgeFixture, InvalidActionIdNameChecked) {
+  EXPECT_DEATH((void)rt.actions().handler(kInvalidAction), "unknown");
+}
+
+TEST_F(LcoEdgeFixture, LedgerSetResumesWaiterWithoutExtraCpuAtSetter) {
+  Event ev;
+  LcoRef ref{};
+  bool resumed = false;
+  rt.spawn(2, [&](Context& ctx) -> Fiber {
+    ref = ctx.make_ref(ev);
+    co_await ev;
+    resumed = true;
+  });
+  // Ledger set from an engine event (NIC context — no CPU task).
+  fabric.engine().at(5000, [&] { rt.ledger_set(ref, 5000); });
+  fabric.engine().run();
+  EXPECT_TRUE(resumed);
+}
+
+}  // namespace
+}  // namespace nvgas::rt

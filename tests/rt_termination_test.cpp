@@ -1,0 +1,133 @@
+// Quiescence detection: must fire after message storms settle and must
+// NOT fire while traffic is still circulating.
+#include <gtest/gtest.h>
+
+#include "core/nvgas.hpp"
+#include "rt/termination.hpp"
+
+namespace nvgas::rt {
+namespace {
+
+TEST(Quiescence, TrivialIdleSystemDetectsQuickly) {
+  World world(Config::with_nodes(4, GasMode::kPgas));
+  QuiescenceDetector qd(world.runtime(), 10'000);
+  int released = 0;
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    co_await qd.wait(ctx);
+    ++released;
+  });
+  EXPECT_EQ(released, 4);
+  EXPECT_GE(qd.rounds(), 2u);  // needs two agreeing snapshots
+}
+
+TEST(Quiescence, DetectsAfterMessageChainEnds) {
+  // A chain of application messages hops around the ring a fixed number
+  // of times; the detector must release everyone only after the chain
+  // dies out, and the ordering must show in the timestamps.
+  World world(Config::with_nodes(4, GasMode::kPgas));
+  QuiescenceDetector qd(world.runtime(), 10'000);
+  sim::Time last_hop = 0;
+  sim::Time released_at = 0;
+  ActionId hop{};
+  hop = register_action<int>(
+      world.runtime().actions(), "test.hop", [&](Context& c, int, int left) {
+        qd.note_processed(c.rank());
+        last_hop = c.now();
+        if (left > 0) {
+          qd.note_sent(c.rank());
+          c.send((c.rank() + 1) % c.ranks(), hop, pack_args(left - 1));
+        }
+      });
+
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    if (ctx.rank() == 0) {
+      qd.note_sent(0);
+      ctx.send(1, hop, pack_args(25));
+    }
+    co_await qd.wait(ctx);
+    if (ctx.rank() == 0) released_at = ctx.now();
+  });
+  EXPECT_GT(last_hop, 0u);
+  EXPECT_GT(released_at, last_hop);
+}
+
+TEST(Quiescence, MessageQuiescenceNotComputeQuiescence) {
+  // The detector tracks MESSAGE activity: a handler that consumes its
+  // message and then computes for a long time (sending nothing) leaves
+  // the system message-quiescent immediately. Pin that semantic down.
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  QuiescenceDetector qd(world.runtime(), 10'000);
+  const auto slow = world.runtime().actions().add(
+      "test.slow", [&](Context& c, int, util::Buffer) {
+        qd.note_processed(c.rank());
+        c.charge(500'000);  // long compute tail — not message activity
+      });
+  sim::Time released_at = 0;
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    if (ctx.rank() == 0) {
+      qd.note_sent(0);
+      ctx.send(1, slow, {});
+    }
+    co_await qd.wait(ctx);
+    if (ctx.rank() == 0) released_at = ctx.now();
+  });
+  EXPECT_LT(released_at, 500'000u);
+}
+
+TEST(Quiescence, DeferredSendsHoldOffDetection) {
+  // A fiber that holds a "logical message debt" (note_sent before
+  // sleeping, send after) keeps the system non-quiescent for the whole
+  // deferral window — the pattern for work that schedules future sends.
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  QuiescenceDetector qd(world.runtime(), 10'000);
+  sim::Time sent_late_at = 0;
+  const auto sink = world.runtime().actions().add(
+      "test.sink", [&](Context& c, int, util::Buffer) {
+        qd.note_processed(c.rank());
+      });
+  sim::Time released_at = 0;
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    if (ctx.rank() == 0) {
+      qd.note_sent(0);  // debt taken now...
+      co_await ctx.sleep(400'000);
+      ctx.send(1, sink, {});  // ...paid much later
+      sent_late_at = ctx.now();
+    }
+    co_await qd.wait(ctx);
+    if (ctx.rank() == 0) released_at = ctx.now();
+  });
+  EXPECT_GE(sent_late_at, 400'000u);
+  EXPECT_GT(released_at, sent_late_at);
+}
+
+TEST(Quiescence, FanOutFanInStorm) {
+  // Every rank floods every other rank; each received message may spawn
+  // one more with decreasing probability. Detection must come after all
+  // activity and the bookkeeping must balance.
+  World world(Config::with_nodes(8, GasMode::kPgas));
+  QuiescenceDetector qd(world.runtime(), 15'000);
+  std::uint64_t handled = 0;
+  util::Rng rng(9);
+  ActionId storm{};
+  storm = register_action<int>(
+      world.runtime().actions(), "test.qstorm",
+      [&](Context& c, int, int depth) {
+        qd.note_processed(c.rank());
+        ++handled;
+        if (depth > 0 && rng.chance(0.7)) {
+          qd.note_sent(c.rank());
+          c.send(static_cast<int>(rng.below(8)), storm, pack_args(depth - 1));
+        }
+      });
+  world.run_spmd([&](Context& ctx) -> Fiber {
+    for (int dst = 0; dst < ctx.ranks(); ++dst) {
+      qd.note_sent(ctx.rank());
+      ctx.send(dst, storm, pack_args(6));
+    }
+    co_await qd.wait(ctx);
+  });
+  EXPECT_GT(handled, 64u);  // the initial 8x8 plus respawns
+}
+
+}  // namespace
+}  // namespace nvgas::rt

@@ -1,0 +1,122 @@
+// Conservation invariants over randomized workloads: after a full drain,
+// every message sent was delivered, every byte accounted, and no
+// completion was lost. These catch protocol leaks that functional tests
+// can miss (an op that "works" but strands a message or double-counts).
+#include <gtest/gtest.h>
+
+#include "core/nvgas.hpp"
+
+namespace nvgas {
+namespace {
+
+void random_workload(World& world, std::uint64_t seed, int ops) {
+  world.spawn(0, [&world, seed, ops](Context& ctx) -> Fiber {
+    const bool mobile = world.gas().supports_migration();
+    const auto ranks = static_cast<std::uint64_t>(ctx.ranks());
+    const Gva base = alloc_cyclic(ctx, 32, 1024);
+    util::Rng rng(seed);
+    for (int i = 0; i < ops; ++i) {
+      const auto b = static_cast<std::int64_t>(rng.below(32));
+      const Gva addr = base.advanced(b * 1024 + static_cast<std::int64_t>(
+                                                    rng.below(64)) * 8,
+                                     1024);
+      switch (rng.below(mobile ? 4 : 3)) {
+        case 0:
+          co_await memput_value<std::uint64_t>(ctx, addr, rng.next());
+          break;
+        case 1:
+          (void)co_await memget_value<std::uint64_t>(ctx, addr);
+          break;
+        case 2:
+          (void)co_await fetch_add(ctx, addr, 1);
+          break;
+        case 3:
+          co_await migrate(ctx, addr, static_cast<int>(rng.below(ranks)));
+          break;
+      }
+    }
+  });
+  world.run();
+}
+
+class ConservationTest : public ::testing::TestWithParam<GasMode> {};
+
+std::string mode_name(const ::testing::TestParamInfo<GasMode>& info) {
+  switch (info.param) {
+    case GasMode::kPgas: return "pgas";
+    case GasMode::kAgasSw: return "agassw";
+    case GasMode::kAgasNet: return "agasnet";
+  }
+  return "x";
+}
+
+TEST_P(ConservationTest, EveryMessageDeliveredEveryByteAccounted) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Config cfg = Config::with_nodes(8, GetParam());
+    cfg.machine.mem_bytes_per_node = 4u << 20;
+    World world(cfg);
+    random_workload(world, seed, 300);
+    const auto& c = world.counters();
+    EXPECT_EQ(c.messages_sent, c.messages_delivered) << "seed " << seed;
+    EXPECT_EQ(c.bytes_sent, c.bytes_delivered) << "seed " << seed;
+    EXPECT_TRUE(world.engine().idle());
+    EXPECT_EQ(world.runtime().live_fibers(), 0u);
+  }
+}
+
+TEST_P(ConservationTest, PerNicTxRxTotalsBalance) {
+  Config cfg = Config::with_nodes(8, GetParam());
+  cfg.machine.mem_bytes_per_node = 4u << 20;
+  World world(cfg);
+  random_workload(world, 99, 250);
+  std::uint64_t tx = 0;
+  std::uint64_t rx = 0;
+  for (int n = 0; n < 8; ++n) {
+    tx += world.fabric().nic(n).tx_messages();
+    rx += world.fabric().nic(n).rx_messages();
+  }
+  EXPECT_EQ(tx, rx);
+  EXPECT_EQ(tx, world.counters().messages_sent);
+}
+
+TEST_P(ConservationTest, CpuBusyNeverExceedsWallClockTimesWorkers) {
+  Config cfg = Config::with_nodes(4, GetParam());
+  cfg.machine.mem_bytes_per_node = 4u << 20;
+  World world(cfg);
+  random_workload(world, 5, 200);
+  const auto elapsed = world.now();
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_LE(world.fabric().cpu(n).busy_ns(),
+              elapsed * static_cast<sim::Time>(cfg.machine.workers_per_node))
+        << "node " << n;
+  }
+}
+
+TEST_P(ConservationTest, GasOpCountsMatchIssuedOps) {
+  Config cfg = Config::with_nodes(8, GetParam());
+  World world(cfg);
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 8, 256);
+    for (int i = 0; i < 10; ++i) {
+      co_await memput_value<std::uint64_t>(ctx, base.advanced((i % 8) * 256, 256), i);
+    }
+    for (int i = 0; i < 7; ++i) {
+      (void)co_await memget_value<std::uint64_t>(ctx, base.advanced((i % 8) * 256, 256));
+    }
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await fetch_add(ctx, base, 1);
+    }
+  });
+  world.run();
+  EXPECT_EQ(world.counters().gas_memputs, 10u);
+  EXPECT_EQ(world.counters().gas_memgets, 7u);
+  EXPECT_EQ(world.counters().gas_atomics, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ConservationTest,
+                         ::testing::Values(GasMode::kPgas, GasMode::kAgasSw,
+                                           GasMode::kAgasNet),
+                         mode_name);
+
+}  // namespace
+}  // namespace nvgas

@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nvgas::sim {
+namespace {
+
+TEST(Engine, StartsAtZeroAndIdle) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.idle());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(30, [&] { order.push_back(3); });
+  e.at(10, [&] { order.push_back(1); });
+  e.at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, TiesBreakBySubmissionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.at(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, AfterIsRelative) {
+  Engine e;
+  Time seen = 0;
+  e.at(50, [&] {
+    e.after(25, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(Engine, SchedulingIntoPastAborts) {
+  Engine e;
+  e.at(100, [&] {
+    EXPECT_DEATH(e.at(50, [] {}), "past");
+  });
+  e.run();
+}
+
+TEST(Engine, EventsCanCascade) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.after(1, chain);
+  };
+  e.at(0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99u);
+  EXPECT_EQ(e.events_executed(), 100u);
+}
+
+TEST(Engine, RunRespectsEventCap) {
+  Engine e;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    e.after(1, forever);
+  };
+  e.at(0, forever);
+  const auto executed = e.run(500);
+  EXPECT_EQ(executed, 500u);
+  EXPECT_EQ(count, 500);
+  EXPECT_FALSE(e.idle());
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<Time> fired;
+  for (Time t : {10u, 20u, 30u, 40u}) {
+    e.at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run_until(25);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(e.now(), 25u);
+  e.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(1000);
+  EXPECT_EQ(e.now(), 1000u);
+}
+
+TEST(Engine, TraceHashIsDeterministic) {
+  auto run_once = [] {
+    Engine e;
+    for (int i = 0; i < 50; ++i) {
+      e.at(static_cast<Time>(i * 7 % 13), [] {});
+    }
+    e.run();
+    return e.trace_hash();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, TraceHashDistinguishesSchedules) {
+  Engine a;
+  Engine b;
+  a.at(1, [] {});
+  b.at(2, [] {});
+  a.run();
+  b.run();
+  EXPECT_NE(a.trace_hash(), b.trace_hash());
+}
+
+}  // namespace
+}  // namespace nvgas::sim

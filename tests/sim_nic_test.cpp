@@ -1,0 +1,171 @@
+#include "sim/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fabric.hpp"
+
+namespace nvgas::sim {
+namespace {
+
+MachineParams small_machine() {
+  MachineParams p;
+  p.nodes = 4;
+  p.workers_per_node = 1;
+  p.mem_bytes_per_node = 1 << 20;
+  p.wire_latency_ns = 1000;
+  p.nic_gap_ns = 50;
+  p.byte_time_ns = 1.0;  // 1 ns/B keeps arithmetic easy to check
+  return p;
+}
+
+TEST(Nic, SingleMessageTiming) {
+  Fabric f(small_machine());
+  Time delivered = 0;
+  f.nic(0).send(0, 1, 100, [&](Time t) { delivered = t; });
+  f.engine().run();
+  // tx: 0 + g(50) + 100 B * 1 ns = 150; wire: +1000 = 1150; rx gap: +50.
+  EXPECT_EQ(delivered, 1200u);
+}
+
+TEST(Nic, ZeroByteMessageStillPaysGapAndLatency) {
+  Fabric f(small_machine());
+  Time delivered = 0;
+  f.nic(0).send(0, 1, 0, [&](Time t) { delivered = t; });
+  f.engine().run();
+  EXPECT_EQ(delivered, 50u + 1000u + 50u);
+}
+
+TEST(Nic, TxPortSerializesBackToBackSends) {
+  Fabric f(small_machine());
+  std::vector<Time> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    f.nic(0).send(0, 1, 100, [&](Time t) { deliveries.push_back(t); });
+  }
+  f.engine().run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  // Each message occupies the tx port for 150 ns.
+  EXPECT_EQ(deliveries[0], 1200u);
+  EXPECT_EQ(deliveries[1], 1350u);
+  EXPECT_EQ(deliveries[2], 1500u);
+}
+
+TEST(Nic, RxPortSerializesFanIn) {
+  Fabric f(small_machine());
+  std::vector<Time> deliveries;
+  // Two different senders target node 2 with simultaneous departures.
+  f.nic(0).send(0, 2, 100, [&](Time t) { deliveries.push_back(t); });
+  f.nic(1).send(0, 2, 100, [&](Time t) { deliveries.push_back(t); });
+  f.engine().run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Both hit the rx port at 1150; the port takes them 50 ns apart.
+  EXPECT_EQ(deliveries[0], 1200u);
+  EXPECT_EQ(deliveries[1], 1250u);
+}
+
+TEST(Nic, LoopbackSkipsWire) {
+  Fabric f(small_machine());
+  Time delivered = 0;
+  f.nic(1).send(0, 1, 100, [&](Time t) { delivered = t; });
+  f.engine().run();
+  EXPECT_EQ(delivered, 150u + 0u + 50u);
+}
+
+TEST(Nic, DepartureTimeRespected) {
+  Fabric f(small_machine());
+  Time delivered = 0;
+  f.engine().at(0, [&] {
+    f.nic(0).send(500, 1, 0, [&](Time t) { delivered = t; });
+  });
+  f.engine().run();
+  EXPECT_EQ(delivered, 500u + 50u + 1000u + 50u);
+}
+
+TEST(Nic, CountersTrackTraffic) {
+  Fabric f(small_machine());
+  f.nic(0).send(0, 1, 64, [](Time) {});
+  f.nic(0).send(0, 2, 36, [](Time) {});
+  f.engine().run();
+  EXPECT_EQ(f.counters().messages_sent, 2u);
+  EXPECT_EQ(f.counters().bytes_sent, 100u);
+  EXPECT_EQ(f.counters().messages_delivered, 2u);
+  EXPECT_EQ(f.counters().bytes_delivered, 100u);
+  EXPECT_EQ(f.nic(0).tx_messages(), 2u);
+  EXPECT_EQ(f.nic(1).rx_messages(), 1u);
+  EXPECT_EQ(f.nic(2).rx_messages(), 1u);
+}
+
+TEST(Nic, CommandProcessorSerializes) {
+  Fabric f(small_machine());
+  auto& nic = f.nic(0);
+  EXPECT_EQ(nic.occupy_command_processor(0, 100), 100u);
+  EXPECT_EQ(nic.occupy_command_processor(50, 100), 200u);  // queued behind first
+  EXPECT_EQ(nic.occupy_command_processor(500, 100), 600u); // idle gap before
+}
+
+TEST(Nic, BandwidthShapeLargeVsSmall) {
+  // 1 MiB in one message vs 1 MiB in 1024 messages: the many-message
+  // variant pays 1024 gaps, the single message only one.
+  auto run = [](int messages, std::uint64_t bytes_each) {
+    Fabric f(small_machine());
+    Time last = 0;
+    for (int i = 0; i < messages; ++i) {
+      f.nic(0).send(0, 1, bytes_each, [&](Time t) { last = std::max(last, t); });
+    }
+    f.engine().run();
+    return last;
+  };
+  const Time one_big = run(1, 1 << 20);
+  const Time many_small = run(1024, 1 << 10);
+  EXPECT_GT(many_small, one_big);
+  // Overhead difference should be close to 1023 extra gaps (tx side).
+  EXPECT_NEAR(static_cast<double>(many_small - one_big), 1023.0 * 50.0, 2048.0);
+}
+
+TEST(Nic, JitterIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    MachineParams p = small_machine();
+    p.wire_jitter_ns = 500;
+    p.jitter_seed = seed;
+    Fabric f(p);
+    std::vector<Time> deliveries;
+    for (int i = 0; i < 16; ++i) {
+      f.nic(0).send(0, 1, 64, [&](Time t) { deliveries.push_back(t); });
+    }
+    f.engine().run();
+    return deliveries;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Nic, JitterBoundedByConfiguredMax) {
+  MachineParams p = small_machine();
+  p.wire_jitter_ns = 300;
+  Fabric f(p);
+  // Deliveries of identical messages (issued back to back) must fall in
+  // [base, base + jitter) relative to the no-jitter schedule.
+  std::vector<Time> with_jitter;
+  for (int i = 0; i < 64; ++i) {
+    f.nic(0).send(0, 1, 0, [&](Time t) { with_jitter.push_back(t); });
+  }
+  f.engine().run();
+
+  MachineParams q = small_machine();
+  Fabric g(q);
+  std::vector<Time> baseline;
+  for (int i = 0; i < 64; ++i) {
+    g.nic(0).send(0, 1, 0, [&](Time t) { baseline.push_back(t); });
+  }
+  g.engine().run();
+
+  ASSERT_EQ(with_jitter.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_GE(with_jitter[i], baseline[i]);
+    EXPECT_LT(with_jitter[i], baseline[i] + 300 + 50 /*rx queue slack*/);
+  }
+}
+
+}  // namespace
+}  // namespace nvgas::sim

@@ -1,0 +1,101 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fabric.hpp"
+
+namespace nvgas::sim {
+namespace {
+
+TEST(Topology, FlatIsAlwaysOneHop) {
+  Topology t(TopologyKind::kFlat, 16);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(t.hops(a, b), a == b ? 0 : 1);
+    }
+  }
+  EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(Topology, HopsAreSymmetric) {
+  for (auto kind : {TopologyKind::kTorus2D, TopologyKind::kDragonfly}) {
+    Topology t(kind, 12);
+    for (int a = 0; a < 12; ++a) {
+      for (int b = 0; b < 12; ++b) {
+        EXPECT_EQ(t.hops(a, b), t.hops(b, a)) << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Topology, Torus2DNeighbourIsOneHop) {
+  // 16 nodes → 4x4 torus.
+  Topology t(TopologyKind::kTorus2D, 16);
+  EXPECT_EQ(t.hops(0, 1), 1);   // same row
+  EXPECT_EQ(t.hops(0, 4), 1);   // same column
+  EXPECT_EQ(t.hops(0, 3), 1);   // row wraparound
+  EXPECT_EQ(t.hops(0, 12), 1);  // column wraparound
+  EXPECT_EQ(t.hops(0, 5), 2);   // diagonal
+  EXPECT_EQ(t.hops(0, 10), 4);  // opposite corner (2+2)
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(Topology, Torus2DTriangleInequality) {
+  Topology t(TopologyKind::kTorus2D, 24);
+  for (int a = 0; a < 24; ++a) {
+    for (int b = 0; b < 24; ++b) {
+      for (int c = 0; c < 24; ++c) {
+        EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST(Topology, DragonflyGroups) {
+  Topology t(TopologyKind::kDragonfly, 16, /*group=*/4);
+  EXPECT_EQ(t.hops(0, 3), 1);   // same group
+  EXPECT_EQ(t.hops(0, 4), 3);   // cross-group
+  EXPECT_EQ(t.hops(5, 6), 1);
+  EXPECT_EQ(t.hops(15, 0), 3);
+  EXPECT_EQ(t.diameter(), 3);
+}
+
+TEST(Topology, LatencyScalesWithHops) {
+  Topology t(TopologyKind::kTorus2D, 16);
+  const Time base = 900;
+  const Time per_hop = 150;
+  EXPECT_EQ(t.latency(0, 0, base, per_hop), 0u);
+  EXPECT_EQ(t.latency(0, 1, base, per_hop), 900u);
+  EXPECT_EQ(t.latency(0, 5, base, per_hop), 1050u);
+  EXPECT_EQ(t.latency(0, 10, base, per_hop), 1350u);
+}
+
+TEST(Topology, FabricUsesTopologyLatency) {
+  MachineParams p;
+  p.nodes = 16;
+  p.topology = TopologyKind::kTorus2D;
+  p.mem_bytes_per_node = 1 << 20;
+  Fabric f(p);
+  EXPECT_EQ(f.latency(0, 1), 900u);
+  EXPECT_EQ(f.latency(0, 10), 900u + 3 * 150u);
+  // Messages to farther nodes arrive later.
+  Time near = 0;
+  Time far = 0;
+  f.nic(0).send(0, 1, 0, [&](Time t) { near = t; });
+  f.nic(0).send(0, 10, 0, [&](Time t) { far = t; });
+  f.engine().run();
+  EXPECT_GT(far, near);
+}
+
+TEST(Topology, NonSquareNodeCountsFactorize) {
+  // 12 → 3x4 (largest divisor ≤ sqrt).
+  Topology t(TopologyKind::kTorus2D, 12);
+  EXPECT_GE(t.diameter(), 3);
+  // Prime count degenerates to a ring.
+  Topology ring(TopologyKind::kTorus2D, 7);
+  EXPECT_EQ(ring.diameter(), 3);  // ring of 7: floor(7/2)=3
+  EXPECT_EQ(ring.hops(0, 6), 1);  // wraparound
+}
+
+}  // namespace
+}  // namespace nvgas::sim

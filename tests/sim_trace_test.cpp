@@ -1,0 +1,161 @@
+// Event-trace assertions on protocol STRUCTURE: which wire events and CPU
+// tasks each operation class generates.
+#include <gtest/gtest.h>
+
+#include "core/nvgas.hpp"
+#include "sim/trace.hpp"
+
+namespace nvgas {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndRecordsNothing) {
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  EXPECT_FALSE(world.fabric().trace().enabled());
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva g = alloc_cyclic(ctx, 2, 64);
+    co_await memput_value<std::uint64_t>(ctx, g.advanced(64, 64), 1);
+  });
+  world.run();
+  EXPECT_TRUE(world.fabric().trace().records().empty());
+}
+
+TEST(Trace, OneSidedPutIsFourWireEventsZeroTargetCpu) {
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  Gva remote;
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva base = alloc_cyclic(ctx, 2, 64);
+    remote = base.home(2) == 1 ? base : base.advanced(64, 64);
+    co_return;
+  });
+  world.run();
+
+  auto& trace = world.fabric().trace();
+  trace.enable();
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    co_await memput_value<std::uint64_t>(ctx, remote, 7);
+  });
+  world.run();
+
+  // One spawn CPU task on rank 0 (the driver fiber) + op message + ack.
+  const auto sends = trace.of(sim::TraceEvent::kMsgSend);
+  const auto arrives = trace.of(sim::TraceEvent::kMsgArrive);
+  ASSERT_EQ(sends.size(), 2u);   // put, ack
+  ASSERT_EQ(arrives.size(), 2u);
+  EXPECT_EQ(sends[0].node, 0);
+  EXPECT_EQ(sends[0].peer, 1);
+  EXPECT_EQ(sends[1].node, 1);  // ack comes back
+  EXPECT_EQ(sends[1].peer, 0);
+  EXPECT_GT(sends[0].bytes, sends[1].bytes);  // payload > ack
+  // THE structural claim: no CPU task ever ran on the target.
+  EXPECT_EQ(trace.cpu_tasks_on(1), 0u);
+  EXPECT_GT(trace.cpu_tasks_on(0), 0u);  // the driver fiber itself
+}
+
+TEST(Trace, ParcelCostsATargetCpuTask) {
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  const auto act = world.runtime().actions().add(
+      "trace.sink", [](Context&, int, util::Buffer) {});
+  world.fabric().trace().enable();
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    ctx.send(1, act, {});
+    co_return;
+  });
+  world.run();
+  EXPECT_EQ(world.fabric().trace().cpu_tasks_on(1), 1u);
+}
+
+TEST(Trace, AgasNetStaleAccessAddsExactlyOneForwardHop) {
+  Config cfg = Config::with_nodes(4, GasMode::kAgasNet);
+  World world(cfg);
+  Gva block;
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    // Pick a block homed on rank 1, so issuer rank 0 caches an unpinned
+    // entry (the home's pinned entry is always fresh).
+    block = alloc_cyclic(ctx, 4, 256);
+    while (block.home(4) != 1) block = block.advanced(256, 256);
+    co_await memput_value<std::uint64_t>(ctx, block, 1);  // warm rank 0
+    // Move away from home without telling rank 0 (initiate from rank 2).
+    rt::Event done;
+    const rt::LcoRef dref = ctx.make_ref(done);
+    ctx.spawn(2, [&, dref](Context& c) -> Fiber {
+      co_await migrate(c, block, 3);
+      c.set_lco(dref);
+    });
+    co_await done;
+  });
+  world.run();
+
+  auto& trace = world.fabric().trace();
+  trace.enable();
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    (void)co_await memget_value<std::uint64_t>(ctx, block);
+  });
+  world.run();
+
+  // Stale path: 0 -> old-owner(home) -> forward -> 3 -> reply -> 0.
+  const auto sends = trace.of(sim::TraceEvent::kMsgSend);
+  ASSERT_EQ(sends.size(), 3u);
+  EXPECT_EQ(sends[0].node, 0);
+  EXPECT_EQ(sends[1].peer, 3);   // the forward
+  EXPECT_EQ(sends[2].node, 3);   // reply from the true owner
+  EXPECT_EQ(sends[2].peer, 0);
+  // Still no CPU anywhere but the issuer.
+  EXPECT_EQ(trace.cpu_tasks_on(1), 0u);
+  EXPECT_EQ(trace.cpu_tasks_on(3), 0u);
+}
+
+TEST(Trace, AgasSwMissRunsHomeCpu) {
+  Config cfg = Config::with_nodes(4, GasMode::kAgasSw);
+  World world(cfg);
+  Gva block;
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    block = alloc_cyclic(ctx, 4, 256);
+    while (block.home(4) != 1) block = block.advanced(256, 256);
+    co_return;
+  });
+  world.run();
+
+  auto& trace = world.fabric().trace();
+  trace.enable();
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    (void)co_await memget_value<std::uint64_t>(ctx, block);  // cold miss
+  });
+  world.run();
+  // Directory request ran on the home's CPU.
+  EXPECT_GE(trace.cpu_tasks_on(1), 1u);
+  // 4 wire events: resolve req, resolve reply, get req, get reply.
+  EXPECT_EQ(trace.of(sim::TraceEvent::kMsgSend).size(), 4u);
+}
+
+TEST(Trace, RenderProducesOneLinePerRecord) {
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  world.fabric().trace().enable();
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva g = alloc_cyclic(ctx, 2, 64);
+    co_await memput_value<std::uint64_t>(ctx, g.advanced(64, 64), 1);
+  });
+  world.run();
+  const auto& records = world.fabric().trace().records();
+  const std::string text = world.fabric().trace().render();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            records.size());
+  EXPECT_NE(text.find("send"), std::string::npos);
+  EXPECT_NE(text.find("cpu"), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsRecording) {
+  World world(Config::with_nodes(2, GasMode::kPgas));
+  world.fabric().trace().enable(/*capacity=*/4);
+  world.spawn(0, [&](Context& ctx) -> Fiber {
+    const Gva g = alloc_cyclic(ctx, 2, 64);
+    for (int i = 0; i < 16; ++i) {
+      co_await memput_value<std::uint64_t>(ctx, g.advanced(64, 64), i);
+    }
+  });
+  world.run();
+  EXPECT_EQ(world.fabric().trace().records().size(), 4u);
+}
+
+}  // namespace
+}  // namespace nvgas

@@ -1,0 +1,106 @@
+#include "util/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvgas::util {
+namespace {
+
+TEST(Buffer, RoundTripScalars) {
+  Buffer buf;
+  buf.put<std::uint8_t>(0xab);
+  buf.put<std::uint32_t>(0xdeadbeef);
+  buf.put<std::int64_t>(-42);
+  buf.put<double>(3.25);
+
+  auto r = buf.reader();
+  EXPECT_EQ(r.get<std::uint8_t>(), 0xab);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, RoundTripString) {
+  Buffer buf;
+  buf.put_string("hello gas");
+  buf.put_string("");
+  auto r = buf.reader();
+  EXPECT_EQ(r.get_string(), "hello gas");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, RoundTripVector) {
+  Buffer buf;
+  std::vector<std::uint64_t> v{1, 2, 3, 1ull << 60};
+  buf.put_vector(v);
+  auto r = buf.reader();
+  EXPECT_EQ(r.get_vector<std::uint64_t>(), v);
+}
+
+TEST(Buffer, MixedSequence) {
+  struct Pod {
+    int a;
+    float b;
+    bool operator==(const Pod&) const = default;
+  };
+  Buffer buf;
+  buf.put(Pod{7, 1.5f});
+  buf.put_string("mid");
+  buf.put(Pod{-1, -2.0f});
+  auto r = buf.reader();
+  EXPECT_EQ(r.get<Pod>(), (Pod{7, 1.5f}));
+  EXPECT_EQ(r.get_string(), "mid");
+  EXPECT_EQ(r.get<Pod>(), (Pod{-1, -2.0f}));
+}
+
+TEST(Buffer, UnderrunAborts) {
+  Buffer buf;
+  buf.put<std::uint16_t>(1);
+  auto r = buf.reader();
+  (void)r.get<std::uint16_t>();
+  EXPECT_DEATH((void)r.get<std::uint8_t>(), "underrun");
+}
+
+TEST(Buffer, ReaderOverSpan) {
+  Buffer buf;
+  buf.put<std::uint32_t>(99);
+  Buffer::Reader r(buf.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 99u);
+}
+
+TEST(Buffer, RemainingTracksCursor) {
+  Buffer buf;
+  buf.put<std::uint64_t>(1);
+  buf.put<std::uint64_t>(2);
+  auto r = buf.reader();
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.get<std::uint64_t>();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+TEST(Buffer, AppendRawConcatenates) {
+  Buffer a;
+  a.put<std::uint32_t>(1);
+  Buffer b;
+  b.put<std::uint32_t>(2);
+  a.append_raw(b.bytes());
+  auto r = a.reader();
+  EXPECT_EQ(r.get<std::uint32_t>(), 1u);
+  EXPECT_EQ(r.get<std::uint32_t>(), 2u);
+}
+
+TEST(Buffer, BytesLengthPrefixed) {
+  Buffer buf;
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  buf.put_bytes(payload);
+  auto r = buf.reader();
+  EXPECT_EQ(r.get_bytes(), payload);
+}
+
+}  // namespace
+}  // namespace nvgas::util
