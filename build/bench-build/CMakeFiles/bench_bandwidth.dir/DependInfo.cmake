@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bandwidth.cpp" "bench-build/CMakeFiles/bench_bandwidth.dir/bench_bandwidth.cpp.o" "gcc" "bench-build/CMakeFiles/bench_bandwidth.dir/bench_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nvgas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/nvgas_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nvgas_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nvgas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvgas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nvgas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bfs"
+  "../bench/bench_bfs.pdb"
+  "CMakeFiles/bench_bfs.dir/bench_bfs.cpp.o"
+  "CMakeFiles/bench_bfs.dir/bench_bfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

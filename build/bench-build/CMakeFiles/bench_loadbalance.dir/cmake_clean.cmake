@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_loadbalance"
+  "../bench/bench_loadbalance.pdb"
+  "CMakeFiles/bench_loadbalance.dir/bench_loadbalance.cpp.o"
+  "CMakeFiles/bench_loadbalance.dir/bench_loadbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parcel"
+  "../bench/bench_parcel.pdb"
+  "CMakeFiles/bench_parcel.dir/bench_parcel.cpp.o"
+  "CMakeFiles/bench_parcel.dir/bench_parcel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stencil"
+  "../bench/bench_stencil.pdb"
+  "CMakeFiles/bench_stencil.dir/bench_stencil.cpp.o"
+  "CMakeFiles/bench_stencil.dir/bench_stencil.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

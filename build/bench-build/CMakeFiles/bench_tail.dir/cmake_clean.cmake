@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tail"
+  "../bench/bench_tail.pdb"
+  "CMakeFiles/bench_tail.dir/bench_tail.cpp.o"
+  "CMakeFiles/bench_tail.dir/bench_tail.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

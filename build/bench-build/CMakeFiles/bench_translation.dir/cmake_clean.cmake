@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_translation"
+  "../bench/bench_translation.pdb"
+  "CMakeFiles/bench_translation.dir/bench_translation.cpp.o"
+  "CMakeFiles/bench_translation.dir/bench_translation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

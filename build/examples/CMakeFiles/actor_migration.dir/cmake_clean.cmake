@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_migration.dir/actor_migration.cpp.o"
+  "CMakeFiles/actor_migration.dir/actor_migration.cpp.o.d"
+  "actor_migration"
+  "actor_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs.dir/bfs.cpp.o"
+  "CMakeFiles/bfs.dir/bfs.cpp.o.d"
+  "bfs"
+  "bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups.dir/gups.cpp.o"
+  "CMakeFiles/gups.dir/gups.cpp.o.d"
+  "gups"
+  "gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--nodes=4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gups "/root/repo/build/examples/gups" "--nodes=4" "--updates=2000" "--table-mib=1")
+set_tests_properties(example_gups PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat2d "/root/repo/build/examples/heat2d" "--nodes=4" "--n=32" "--iters=5")
+set_tests_properties(example_heat2d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_actor_migration "/root/repo/build/examples/actor_migration" "--nodes=4" "--actors=16" "--tasks=300")
+set_tests_properties(example_actor_migration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kvstore "/root/repo/build/examples/kvstore" "--nodes=4" "--buckets=64" "--ops=1500")
+set_tests_properties(example_kvstore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bfs "/root/repo/build/examples/bfs" "--nodes=4" "--vertices=2048" "--degree=6")
+set_tests_properties(example_bfs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sssp "/root/repo/build/examples/sssp" "--nodes=4" "--vertices=1024" "--degree=5")
+set_tests_properties(example_sssp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline "/root/repo/build/examples/pipeline" "--nodes=4" "--chunks=16" "--chunk-bytes=4096")
+set_tests_properties(example_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

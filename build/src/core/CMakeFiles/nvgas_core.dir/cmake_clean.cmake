@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_core.dir/agas_net.cpp.o"
+  "CMakeFiles/nvgas_core.dir/agas_net.cpp.o.d"
+  "CMakeFiles/nvgas_core.dir/world.cpp.o"
+  "CMakeFiles/nvgas_core.dir/world.cpp.o.d"
+  "libnvgas_core.a"
+  "libnvgas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

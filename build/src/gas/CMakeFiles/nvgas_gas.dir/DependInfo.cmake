@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gas/agas_sw.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/agas_sw.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/agas_sw.cpp.o.d"
+  "/root/repo/src/gas/block_store.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/block_store.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/block_store.cpp.o.d"
+  "/root/repo/src/gas/gas_api.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/gas_api.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/gas_api.cpp.o.d"
+  "/root/repo/src/gas/gheap.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/gheap.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/gheap.cpp.o.d"
+  "/root/repo/src/gas/gva.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/gva.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/gva.cpp.o.d"
+  "/root/repo/src/gas/pgas.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/pgas.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/pgas.cpp.o.d"
+  "/root/repo/src/gas/tcache.cpp" "src/gas/CMakeFiles/nvgas_gas.dir/tcache.cpp.o" "gcc" "src/gas/CMakeFiles/nvgas_gas.dir/tcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nvgas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nvgas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nvgas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_gas.dir/agas_sw.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/agas_sw.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/block_store.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/block_store.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/gas_api.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/gas_api.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/gheap.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/gheap.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/gva.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/gva.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/pgas.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/pgas.cpp.o.d"
+  "CMakeFiles/nvgas_gas.dir/tcache.cpp.o"
+  "CMakeFiles/nvgas_gas.dir/tcache.cpp.o.d"
+  "libnvgas_gas.a"
+  "libnvgas_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

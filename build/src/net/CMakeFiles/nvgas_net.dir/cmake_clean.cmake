@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_net.dir/endpoint.cpp.o"
+  "CMakeFiles/nvgas_net.dir/endpoint.cpp.o.d"
+  "CMakeFiles/nvgas_net.dir/nic_tlb.cpp.o"
+  "CMakeFiles/nvgas_net.dir/nic_tlb.cpp.o.d"
+  "libnvgas_net.a"
+  "libnvgas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvgas_net.a"
+)

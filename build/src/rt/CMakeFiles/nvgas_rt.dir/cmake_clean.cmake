@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_rt.dir/coalescer.cpp.o"
+  "CMakeFiles/nvgas_rt.dir/coalescer.cpp.o.d"
+  "CMakeFiles/nvgas_rt.dir/collectives.cpp.o"
+  "CMakeFiles/nvgas_rt.dir/collectives.cpp.o.d"
+  "CMakeFiles/nvgas_rt.dir/runtime.cpp.o"
+  "CMakeFiles/nvgas_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/nvgas_rt.dir/termination.cpp.o"
+  "CMakeFiles/nvgas_rt.dir/termination.cpp.o.d"
+  "libnvgas_rt.a"
+  "libnvgas_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/nvgas_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/nvgas_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/nvgas_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/nvgas_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/nvgas_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/nvgas_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/nic.cpp" "src/sim/CMakeFiles/nvgas_sim.dir/nic.cpp.o" "gcc" "src/sim/CMakeFiles/nvgas_sim.dir/nic.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/nvgas_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/nvgas_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nvgas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

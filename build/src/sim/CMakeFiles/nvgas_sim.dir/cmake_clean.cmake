@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_sim.dir/cpu.cpp.o"
+  "CMakeFiles/nvgas_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/nvgas_sim.dir/engine.cpp.o"
+  "CMakeFiles/nvgas_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nvgas_sim.dir/fabric.cpp.o"
+  "CMakeFiles/nvgas_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/nvgas_sim.dir/nic.cpp.o"
+  "CMakeFiles/nvgas_sim.dir/nic.cpp.o.d"
+  "CMakeFiles/nvgas_sim.dir/trace.cpp.o"
+  "CMakeFiles/nvgas_sim.dir/trace.cpp.o.d"
+  "libnvgas_sim.a"
+  "libnvgas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvgas_util.dir/histogram.cpp.o"
+  "CMakeFiles/nvgas_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/nvgas_util.dir/log.cpp.o"
+  "CMakeFiles/nvgas_util.dir/log.cpp.o.d"
+  "CMakeFiles/nvgas_util.dir/options.cpp.o"
+  "CMakeFiles/nvgas_util.dir/options.cpp.o.d"
+  "CMakeFiles/nvgas_util.dir/stats.cpp.o"
+  "CMakeFiles/nvgas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nvgas_util.dir/table.cpp.o"
+  "CMakeFiles/nvgas_util.dir/table.cpp.o.d"
+  "libnvgas_util.a"
+  "libnvgas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvgas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nvgas_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_free_memcpy_test.dir/gas_free_memcpy_test.cpp.o"
+  "CMakeFiles/gas_free_memcpy_test.dir/gas_free_memcpy_test.cpp.o.d"
+  "gas_free_memcpy_test"
+  "gas_free_memcpy_test.pdb"
+  "gas_free_memcpy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_free_memcpy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

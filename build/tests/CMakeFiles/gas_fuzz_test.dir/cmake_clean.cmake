@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_fuzz_test.dir/gas_fuzz_test.cpp.o"
+  "CMakeFiles/gas_fuzz_test.dir/gas_fuzz_test.cpp.o.d"
+  "gas_fuzz_test"
+  "gas_fuzz_test.pdb"
+  "gas_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

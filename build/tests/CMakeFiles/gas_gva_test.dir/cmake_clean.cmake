@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_gva_test.dir/gas_gva_test.cpp.o"
+  "CMakeFiles/gas_gva_test.dir/gas_gva_test.cpp.o.d"
+  "gas_gva_test"
+  "gas_gva_test.pdb"
+  "gas_gva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_gva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

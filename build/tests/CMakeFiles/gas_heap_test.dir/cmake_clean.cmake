@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_heap_test.dir/gas_heap_test.cpp.o"
+  "CMakeFiles/gas_heap_test.dir/gas_heap_test.cpp.o.d"
+  "gas_heap_test"
+  "gas_heap_test.pdb"
+  "gas_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

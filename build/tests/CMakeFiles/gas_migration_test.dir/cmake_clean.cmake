@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_migration_test.dir/gas_migration_test.cpp.o"
+  "CMakeFiles/gas_migration_test.dir/gas_migration_test.cpp.o.d"
+  "gas_migration_test"
+  "gas_migration_test.pdb"
+  "gas_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

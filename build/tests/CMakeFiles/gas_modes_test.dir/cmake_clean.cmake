@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_modes_test.dir/gas_modes_test.cpp.o"
+  "CMakeFiles/gas_modes_test.dir/gas_modes_test.cpp.o.d"
+  "gas_modes_test"
+  "gas_modes_test.pdb"
+  "gas_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

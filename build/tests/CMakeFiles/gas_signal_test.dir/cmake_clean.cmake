@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_signal_test.dir/gas_signal_test.cpp.o"
+  "CMakeFiles/gas_signal_test.dir/gas_signal_test.cpp.o.d"
+  "gas_signal_test"
+  "gas_signal_test.pdb"
+  "gas_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_whitebox_test.dir/gas_whitebox_test.cpp.o"
+  "CMakeFiles/gas_whitebox_test.dir/gas_whitebox_test.cpp.o.d"
+  "gas_whitebox_test"
+  "gas_whitebox_test.pdb"
+  "gas_whitebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_whitebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

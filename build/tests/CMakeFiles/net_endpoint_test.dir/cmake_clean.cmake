@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_endpoint_test.dir/net_endpoint_test.cpp.o"
+  "CMakeFiles/net_endpoint_test.dir/net_endpoint_test.cpp.o.d"
+  "net_endpoint_test"
+  "net_endpoint_test.pdb"
+  "net_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tlb_test.dir/net_tlb_test.cpp.o"
+  "CMakeFiles/net_tlb_test.dir/net_tlb_test.cpp.o.d"
+  "net_tlb_test"
+  "net_tlb_test.pdb"
+  "net_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_action_test.dir/rt_action_test.cpp.o"
+  "CMakeFiles/rt_action_test.dir/rt_action_test.cpp.o.d"
+  "rt_action_test"
+  "rt_action_test.pdb"
+  "rt_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_coalescer_test.dir/rt_coalescer_test.cpp.o"
+  "CMakeFiles/rt_coalescer_test.dir/rt_coalescer_test.cpp.o.d"
+  "rt_coalescer_test"
+  "rt_coalescer_test.pdb"
+  "rt_coalescer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_coalescer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_lco_edge_test.dir/rt_lco_edge_test.cpp.o"
+  "CMakeFiles/rt_lco_edge_test.dir/rt_lco_edge_test.cpp.o.d"
+  "rt_lco_edge_test"
+  "rt_lco_edge_test.pdb"
+  "rt_lco_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_lco_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_nic_test.dir/sim_nic_test.cpp.o"
+  "CMakeFiles/sim_nic_test.dir/sim_nic_test.cpp.o.d"
+  "sim_nic_test"
+  "sim_nic_test.pdb"
+  "sim_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
