@@ -1,13 +1,21 @@
 // Source-side software translation cache (per node), used by the
-// software-managed AGAS baseline. LRU with bounded capacity; entries are
+// software-managed AGAS baseline. Bounded capacity; entries are
 // invalidated by the home directory before a block moves, so a cached
 // translation is never stale.
+//
+// Implementation: a flat open-addressing hash table (linear probing,
+// backward-shift deletion) in one contiguous array, with CLOCK
+// (second-chance) eviction — a hit sets the slot's reference bit, the
+// eviction hand sweeps the array clearing reference bits and evicts the
+// first unreferenced entry. Compared to the seed's unordered_map +
+// std::list LRU this is zero allocations per operation and one cache
+// line per probe instead of three pointer chases, while approximating
+// LRU closely enough that recency-ordered workloads evict identically.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/memory.hpp"
 #include "util/assert.hpp"
@@ -22,9 +30,7 @@ struct CacheEntry {
 
 class TranslationCache {
  public:
-  explicit TranslationCache(std::size_t capacity) : capacity_(capacity) {
-    NVGAS_CHECK(capacity_ >= 1);
-  }
+  explicit TranslationCache(std::size_t capacity);
 
   [[nodiscard]] std::optional<CacheEntry> lookup(std::uint64_t block_key);
   void insert(std::uint64_t block_key, const CacheEntry& entry);
@@ -32,7 +38,7 @@ class TranslationCache {
   bool invalidate(std::uint64_t block_key);
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
@@ -40,13 +46,28 @@ class TranslationCache {
 
  private:
   struct Slot {
+    std::uint64_t key = 0;
     CacheEntry entry;
-    std::list<std::uint64_t>::iterator lru_pos;
+    bool full = false;
+    std::uint8_t ref = 0;  // CLOCK reference bit
   };
 
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  // Fibonacci multiply-shift onto the table's index range.
+  [[nodiscard]] std::uint32_t home(std::uint64_t key) const {
+    return static_cast<std::uint32_t>((key * 0x9e3779b97f4a7c15ULL) >> shift_);
+  }
+  [[nodiscard]] std::uint32_t find(std::uint64_t key) const;
+  void erase_at(std::uint32_t i);
+  void evict_one();
+
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, Slot> map_;
-  std::list<std::uint64_t> lru_;  // front = most recent
+  std::uint32_t mask_ = 0;
+  std::uint32_t shift_ = 0;
+  std::uint32_t hand_ = 0;  // CLOCK hand
+  std::size_t size_ = 0;
+  std::vector<Slot> slots_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

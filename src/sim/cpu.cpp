@@ -21,12 +21,34 @@ void Cpu::submit(Task fn) {
   pump();
 }
 
+std::int32_t Cpu::park_delayed(Task fn) {
+  std::int32_t idx;
+  if (delayed_free_ >= 0) {
+    idx = delayed_free_;
+    delayed_free_ = delayed_[static_cast<std::size_t>(idx)].next_free;
+  } else {
+    delayed_.emplace_back();
+    idx = static_cast<std::int32_t>(delayed_.size() - 1);
+  }
+  delayed_[static_cast<std::size_t>(idx)].fn = std::move(fn);
+  return idx;
+}
+
+Task Cpu::unpark_delayed(std::int32_t idx) {
+  Delayed& d = delayed_[static_cast<std::size_t>(idx)];
+  Task fn = std::move(d.fn);
+  d.next_free = delayed_free_;
+  delayed_free_ = idx;
+  return fn;
+}
+
 void Cpu::submit_at(Time t, Task fn) {
   if (t <= engine_.now()) {
     submit(std::move(fn));
     return;
   }
-  engine_.at(t, [this, fn = std::move(fn)]() mutable { submit(std::move(fn)); });
+  const std::int32_t idx = park_delayed(std::move(fn));
+  engine_.at(t, [this, idx] { submit(unpark_delayed(idx)); });
 }
 
 void Cpu::pump() {

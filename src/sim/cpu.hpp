@@ -11,13 +11,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "sim/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "util/inline_function.hpp"
 
 namespace nvgas::sim {
 
@@ -43,7 +43,9 @@ class TaskCtx {
   Time charged_ = 0;
 };
 
-using Task = std::function<void(TaskCtx&)>;
+// Move-only with 48-byte inline storage: submitting a task does not
+// allocate unless the capture exceeds the buffer.
+using Task = util::InlineFunction<void(TaskCtx&), 48>;
 
 class Cpu {
  public:
@@ -68,12 +70,24 @@ class Cpu {
   void pump();
   std::size_t earliest_worker() const;
 
+  // Parking pool for submit_at: the task waits here so the engine
+  // callback captures only {this, slot} and stays inside the
+  // Engine::Callback inline buffer (no heap allocation per deferral).
+  struct Delayed {
+    Task fn;
+    std::int32_t next_free = -1;
+  };
+  std::int32_t park_delayed(Task fn);
+  Task unpark_delayed(std::int32_t idx);
+
   Engine& engine_;
   int node_;
   Counters& counters_;
   Trace* trace_;
   std::vector<Time> avail_;        // per-worker next-free time
   std::deque<Task> queue_;
+  std::vector<Delayed> delayed_;
+  std::int32_t delayed_free_ = -1;
   Time wake_at_ = 0;
   bool wake_scheduled_ = false;
   bool pumping_ = false;

@@ -7,6 +7,24 @@
 
 namespace nvgas::sim {
 
+std::int32_t Nic::park_msg(Time when, int src, std::uint64_t bytes,
+                           Deliver deliver) {
+  std::int32_t idx;
+  if (inflight_free_ >= 0) {
+    idx = inflight_free_;
+    inflight_free_ = inflight_[static_cast<std::size_t>(idx)].next_free;
+  } else {
+    inflight_.emplace_back();
+    idx = static_cast<std::int32_t>(inflight_.size() - 1);
+  }
+  PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
+  m.when = when;
+  m.src = src;
+  m.bytes = bytes;
+  m.deliver = std::move(deliver);
+  return idx;
+}
+
 void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
   auto& engine = fabric_->engine();
   const auto& p = fabric_->params();
@@ -25,28 +43,37 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
   fabric_->trace().record(tx_avail_, TraceEvent::kMsgSend, node_, dst, bytes);
 
   Nic& dst_nic = fabric_->nic(dst);
-  const int src_node = node_;
-  engine.at(at_dst_port, [&dst_nic, at_dst_port, src_node, bytes,
-                          deliver = std::move(deliver)]() mutable {
-    dst_nic.arrive(at_dst_port, src_node, bytes, std::move(deliver));
-  });
+  const std::int32_t idx =
+      dst_nic.park_msg(at_dst_port, node_, bytes, std::move(deliver));
+  engine.at(at_dst_port, [&dst_nic, idx] { dst_nic.arrive(idx); });
 }
 
-void Nic::arrive(Time at_port, int src, std::uint64_t bytes, Deliver deliver) {
+void Nic::arrive(std::int32_t idx) {
   auto& engine = fabric_->engine();
   const auto& p = fabric_->params();
+  PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
 
   // rx port occupancy.
-  rx_avail_ = std::max(at_port, rx_avail_) + p.nic_gap_ns;
+  rx_avail_ = std::max(m.when, rx_avail_) + p.nic_gap_ns;
   const Time done = rx_avail_;
-  fabric_->trace().record(done, TraceEvent::kMsgArrive, node_, src, bytes);
+  m.when = done;
+  fabric_->trace().record(done, TraceEvent::kMsgArrive, node_, m.src, m.bytes);
 
   ++rx_messages_;
   auto& c = fabric_->counters();
   ++c.messages_delivered;
-  c.bytes_delivered += bytes;
+  c.bytes_delivered += m.bytes;
 
-  engine.at(done, [done, deliver = std::move(deliver)] { deliver(done); });
+  engine.at(done, [this, idx] { deliver_parked(idx); });
+}
+
+void Nic::deliver_parked(std::int32_t idx) {
+  PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
+  Deliver fn = std::move(m.deliver);
+  const Time done = m.when;
+  m.next_free = inflight_free_;
+  inflight_free_ = idx;
+  fn(done);
 }
 
 Time Nic::occupy_command_processor(Time ready, Time cost) {

@@ -7,15 +7,21 @@
 //     lookups, forwards, atomics) WITHOUT involving the node's CPU.
 // The command processor is the hardware the paper's contribution leans
 // on: one-sided GVA operations ride it end to end.
+//
+// In-flight messages are parked in a recycled pool on the destination
+// NIC; the wire-hop and rx-port engine events capture only {nic, slot},
+// so a message in flight costs zero heap allocations at the engine
+// layer (the Deliver closure itself is inline up to 48 bytes).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <vector>
 
 #include "sim/counters.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
 #include "sim/time.hpp"
+#include "util/inline_function.hpp"
 
 namespace nvgas::sim {
 
@@ -25,7 +31,7 @@ class Nic {
  public:
   // `deliver` runs as an engine event at the destination NIC once the
   // message clears the destination rx port; its argument is that time.
-  using Deliver = std::function<void(Time arrived)>;
+  using Deliver = util::InlineFunction<void(Time), 48>;
 
   Nic(Fabric& fabric, int node) : fabric_(&fabric), node_(node) {}
   Nic(const Nic&) = delete;
@@ -46,8 +52,23 @@ class Nic {
 
  private:
   friend class Fabric;
-  // Called on the destination NIC when a message hits its rx port.
-  void arrive(Time at_port, int src, std::uint64_t bytes, Deliver deliver);
+
+  // One in-flight message parked on the destination NIC: `when` is the
+  // rx-port arrival time while on the wire, then the rx-done time for
+  // the final delivery event.
+  struct PendingMsg {
+    Time when = 0;
+    std::uint64_t bytes = 0;
+    int src = -1;
+    Deliver deliver;
+    std::int32_t next_free = -1;
+  };
+
+  std::int32_t park_msg(Time when, int src, std::uint64_t bytes,
+                        Deliver deliver);
+  // Called on the destination NIC when the message hits its rx port.
+  void arrive(std::int32_t idx);
+  void deliver_parked(std::int32_t idx);
 
   Fabric* fabric_;
   int node_;
@@ -57,6 +78,8 @@ class Nic {
   std::uint64_t tx_messages_ = 0;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t rx_messages_ = 0;
+  std::vector<PendingMsg> inflight_;
+  std::int32_t inflight_free_ = -1;
 };
 
 }  // namespace nvgas::sim

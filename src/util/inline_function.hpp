@@ -1,0 +1,147 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// `InlineFunction<R(Args...), N>` stores any callable whose size is <= N
+// bytes (and whose move constructor is noexcept) directly in the object —
+// no heap allocation — and falls back to `new` for larger captures. The
+// simulator schedules millions of events per second, each carrying one
+// closure; with std::function every capture beyond the ~16-byte libstdc++
+// SBO costs a malloc/free pair per event. A 48-byte inline buffer covers
+// every hot-path closure in sim/ (see Engine::Callback, sim::Task,
+// Nic::Deliver).
+//
+// Differences from std::function, all deliberate:
+//   * move-only (no copy; callables need not be copyable),
+//   * no target()/target_type() RTTI,
+//   * invoking an empty InlineFunction is a checked fatal error, not
+//     std::bad_function_call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nvgas::util {
+
+inline constexpr std::size_t kInlineFunctionDefaultCapacity = 48;
+
+template <typename Signature,
+          std::size_t Capacity = kInlineFunctionDefaultCapacity>
+class InlineFunction;  // undefined; specialized below
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    NVGAS_DCHECK(vt_ != nullptr);
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  // True when the stored callable lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vt_ != nullptr && vt_->inline_storage;
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*relocate)(void* src, void* dst) noexcept;  // move to dst, kill src
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVt = {
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVt = {
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* s) noexcept { delete *static_cast<D**>(s); },
+      false,
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(other.buf_, buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace nvgas::util

@@ -1,0 +1,164 @@
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nvgas::util {
+namespace {
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  InlineFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFunction<void()> g(nullptr);
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, SmallCaptureStaysInline) {
+  int x = 41;
+  InlineFunction<int()> f([x] { return x + 1; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[128] = {};
+  } big;
+  big.bytes[0] = 7;
+  InlineFunction<int(), 48> f([big] { return static_cast<int>(big.bytes[0]); });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunction, ExactlyCapacitySizedCaptureIsInline) {
+  struct Fits {
+    char bytes[48] = {};
+  } fits;
+  fits.bytes[47] = 3;
+  InlineFunction<int(), 48> f(
+      [fits] { return static_cast<int>(fits.bytes[47]); });
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(InlineFunction, MoveTransfersAndEmptiesSource) {
+  int calls = 0;
+  InlineFunction<void()> a([&calls] { ++calls; });
+  InlineFunction<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InlineFunction<void()> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(5);
+  InlineFunction<int()> f([p = std::move(p)] { return *p; });
+  EXPECT_EQ(f(), 5);
+  // Move the wrapper itself; the unique_ptr travels with it.
+  InlineFunction<int()> g(std::move(f));
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(InlineFunction, DestructionReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFunction<void()> f([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+  // Heap fallback path too.
+  struct Pad {
+    char bytes[100] = {};
+  };
+  {
+    InlineFunction<void(), 16> f([counter, pad = Pad{}] {
+      (void)pad;
+      ++*counter;
+    });
+    EXPECT_EQ(counter.use_count(), 2);
+    EXPECT_FALSE(f.is_inline());
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunction, ResetAndNullptrAssignClear) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<void()> f([counter] { ++*counter; });
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(counter.use_count(), 1);
+
+  InlineFunction<void()> g([counter] { ++*counter; });
+  g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto a = std::make_shared<int>(0);
+  auto b = std::make_shared<int>(0);
+  InlineFunction<void()> f([a] { ++*a; });
+  InlineFunction<void()> g([b] { ++*b; });
+  f = std::move(g);
+  EXPECT_EQ(a.use_count(), 1);  // old target destroyed
+  EXPECT_EQ(b.use_count(), 2);
+  f();
+  EXPECT_EQ(*b, 1);
+}
+
+TEST(InlineFunction, AcceptsArgumentsAndReturnsValues) {
+  InlineFunction<int(int, int)> add([](int x, int y) { return x + y; });
+  EXPECT_EQ(add(20, 22), 42);
+
+  std::string log;
+  InlineFunction<void(const std::string&)> append(
+      [&log](const std::string& s) { log += s; });
+  append("ab");
+  append("cd");
+  EXPECT_EQ(log, "abcd");
+}
+
+TEST(InlineFunction, CopiesFromLvalueCallable) {
+  // An lvalue std::function (itself within capacity) is copied in, the
+  // pattern used by self-rescheduling engine callbacks.
+  int calls = 0;
+  std::function<void()> fn = [&calls] { ++calls; };
+  InlineFunction<void()> a(fn);
+  InlineFunction<void()> b(fn);
+  a();
+  b();
+  fn();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(InlineFunction, SelfRescheduleShapeCopiesFunctor) {
+  // Functors that pass *this onward must not invalidate themselves.
+  struct Counter {
+    int* count;
+    std::vector<InlineFunction<void(), 48>>* chain;
+    void operator()() {
+      if (++*count < 3) chain->push_back(*this);
+    }
+  };
+  int count = 0;
+  std::vector<InlineFunction<void(), 48>> chain;
+  chain.emplace_back(Counter{&count, &chain});
+  for (std::size_t i = 0; i < chain.size(); ++i) chain[i]();
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace nvgas::util
