@@ -149,8 +149,11 @@ class AgasNet final : public gas::GasBase {
   AgasNetConfig config_;
   std::vector<std::unique_ptr<net::NicTlb>> tlbs_;
   // Home-side migration state.
+  // simlint:allow(D1: keyed find/erase only, never iterated)
   std::unordered_map<std::uint64_t, Migration> migrations_;
+  // simlint:allow(D1: vector extracted per key; the map is never iterated)
   std::unordered_map<std::uint64_t, std::vector<Op>> queued_ops_;
+  // simlint:allow(D1: vector extracted per key; the map is never iterated)
   std::unordered_map<std::uint64_t, std::vector<PendingMigration>> queued_migs_;
 };
 

@@ -50,8 +50,8 @@ void AgasSw::with_translation(sim::TaskCtx& task, int node, Gva block_base,
     DirEntry& e = st(home).dir.at(key);
     if (e.moving) {
       st(home).deferred[key].push_back(
-          [this, node, block_base, cont = std::move(cont)](sim::TaskCtx& t2) {
-            with_translation(t2, node, block_base, std::move(const_cast<Cont&>(cont)));
+          [this, node, block_base, cont = std::move(cont)](sim::TaskCtx& t2) mutable {
+            with_translation(t2, node, block_base, std::move(cont));
           });
       return;
     }
@@ -328,7 +328,7 @@ void AgasSw::start_migration(sim::TaskCtx& task, Gva block_base, int dst,
                              });
             };
             if (ns.outstanding.count(key) != 0) {
-              ns.fence_waiters[key].push_back(send_ack);
+              ns.fence_waiters[key].push_back(std::move(send_ack));
             } else {
               t2.charge(ep(s).post_cost());
               send_ack(t2.now());
@@ -466,8 +466,8 @@ void AgasSw::finish_migration(sim::TaskCtx& task, Gva block_base) {
     auto work = std::move(dit->second);
     hs.deferred.erase(dit);
     for (auto& w : work) {
-      fabric_->cpu(home).submit_at(task.now(),
-                                   [w = std::move(w)](sim::TaskCtx& t2) { w(t2); });
+      fabric_->cpu(home).submit_at(
+          task.now(), [w = std::move(w)](sim::TaskCtx& t2) mutable { w(t2); });
     }
   }
 

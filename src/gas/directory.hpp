@@ -52,6 +52,7 @@ class Directory {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
+  // simlint:allow(D1: keyed at/find/erase only, never iterated)
   std::unordered_map<std::uint64_t, DirEntry> entries_;
 };
 

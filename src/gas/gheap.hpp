@@ -62,8 +62,10 @@ class GlobalHeap {
  private:
   sim::Fabric* fabric_;
   std::vector<std::unique_ptr<BlockStore>> stores_;
+  // simlint:allow(D1: keyed find only, never iterated)
   std::unordered_map<std::uint32_t, AllocMeta> metas_;
   // block_key -> initial lva at the home node.
+  // simlint:allow(D1: keyed find/erase only, never iterated)
   std::unordered_map<std::uint64_t, sim::Lva> initial_;
   std::uint32_t next_alloc_id_ = 1;
 };

@@ -29,6 +29,7 @@ void Endpoint::put(Time depart, int dst, Lva dst_lva,
         const Time cost = f.params().nic_dma_ns +
                           f.params().copy_time(data.size());
         const Time done = nic.occupy_command_processor(arrived, cost);
+        // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
         f.engine().at(done, [&f, dst, src, dst_lva, done,
                              data = std::move(data),
                              on_complete = std::move(on_complete),
@@ -63,6 +64,7 @@ void Endpoint::get(Time depart, int dst, Lva src_lva, std::size_t len,
         auto& nic = f.nic(dst);
         const Time cost = f.params().nic_dma_ns + f.params().copy_time(len);
         const Time done = nic.occupy_command_processor(arrived, cost);
+        // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
         f.engine().at(done, [&f, cfg, dst, src, src_lva, len, done,
                              on_data = std::move(on_data)]() mutable {
           std::vector<std::byte> payload = f.mem(dst).read_vec(src_lva, len);
@@ -98,6 +100,7 @@ void atomic_op(sim::Fabric& f, const NetConfig& cfg, int src, Time depart,
         auto& nic = f.nic(dst);
         const Time done =
             nic.occupy_command_processor(arrived, f.params().nic_atomic_ns);
+        // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
         f.engine().at(done, [&f, cfg, dst, src, done,
                              on_old = std::move(on_old), op]() mutable {
           const std::uint64_t old = op(f.mem(dst));
@@ -213,6 +216,7 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
                     const Time done = f.nic(self->node_).occupy_command_processor(
                         at_src, cost);
                     if (on_delivered) on_delivered(done);
+                    // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
                     f.engine().at(done, [&f, cfg, target, self, done,
                                          staged_payload = std::move(staged_payload),
                                          payload_size]() mutable {

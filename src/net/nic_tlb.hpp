@@ -67,6 +67,7 @@ class NicTlb {
   void evict_one();
 
   std::size_t capacity_;
+  // simlint:allow(D1: keyed find/erase; eviction order comes from lru_, not the map)
   std::unordered_map<std::uint64_t, Slot> map_;
   std::list<std::uint64_t> lru_;  // front = most recent
   std::size_t pinned_count_ = 0;

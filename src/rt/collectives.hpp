@@ -74,11 +74,16 @@ class Collectives {
     std::uint64_t next_bcast_gen = 0;
     // LCO storage: kept alive for the life of the Collectives object (the
     // count is bounded by the number of collective calls).
+    // simlint:allow(D1: keyed by generation, find only, never iterated)
     std::unordered_map<std::uint64_t, std::unique_ptr<Event>> barrier_events;
+    // simlint:allow(D1: keyed by generation, find only, never iterated)
     std::unordered_map<std::uint64_t, std::unique_ptr<Future<double>>> reduce_futures;
+    // simlint:allow(D1: keyed by generation, find only, never iterated)
     std::unordered_map<std::uint64_t, std::unique_ptr<Future<std::uint64_t>>> bcast_futures;
     // Tree progress (barrier and reduce share the structure).
+    // simlint:allow(D1: keyed by generation, find/erase only, never iterated)
     std::unordered_map<std::uint64_t, TreeGen> tree_barrier;
+    // simlint:allow(D1: keyed by generation, find/erase only, never iterated)
     std::unordered_map<std::uint64_t, TreeGen> tree_reduce;
   };
 
@@ -98,7 +103,9 @@ class Collectives {
   CollAlgo algo_;
   std::vector<NodeState> nodes_;
   // Root-side progress for the flat algorithm, keyed by generation.
+  // simlint:allow(D1: keyed by generation, find/erase only, never iterated)
   std::unordered_map<std::uint64_t, BarrierGen> barrier_progress_;
+  // simlint:allow(D1: keyed by generation, find/erase only, never iterated)
   std::unordered_map<std::uint64_t, ReduceGen> reduce_progress_;
 
   ActionId barrier_arrive_ = kInvalidAction;

@@ -98,6 +98,7 @@ class Runtime {
 
   struct NodeState {
     std::unique_ptr<Context> ctx;
+    // simlint:allow(D1: keyed by LCO id, find/erase only, never iterated)
     std::unordered_map<std::uint64_t, LcoBase*> lcos;
     std::uint64_t next_lco_id = 1;
   };
@@ -111,6 +112,7 @@ class Runtime {
   ActionId lco_set_action_ = kInvalidAction;
   ActionId apply_action_ = kInvalidAction;
   sim::TaskCtx* current_ = nullptr;
+  // simlint:allow(D1: keyed by spawn slot, find/erase only, never iterated)
   std::unordered_map<std::uint64_t,
                      std::unique_ptr<std::function<Fiber(Context&)>>>
       spawned_;

@@ -26,17 +26,32 @@ std::int32_t Cpu::park_delayed(Task fn) {
   if (delayed_free_ >= 0) {
     idx = delayed_free_;
     delayed_free_ = delayed_[static_cast<std::size_t>(idx)].next_free;
+#ifdef NVGAS_SIMSAN
+    NVGAS_CHECK_MSG(!delayed_[static_cast<std::size_t>(idx)].parked,
+                    "SimSan: free list holds a parked Cpu task slot");
+#endif
   } else {
     delayed_.emplace_back();
     idx = static_cast<std::int32_t>(delayed_.size() - 1);
   }
   delayed_[static_cast<std::size_t>(idx)].fn = std::move(fn);
+#ifdef NVGAS_SIMSAN
+  delayed_[static_cast<std::size_t>(idx)].parked = true;
+#endif
   return idx;
 }
 
 Task Cpu::unpark_delayed(std::int32_t idx) {
   Delayed& d = delayed_[static_cast<std::size_t>(idx)];
+#ifdef NVGAS_SIMSAN
+  NVGAS_CHECK_MSG(d.parked,
+                  "SimSan: use-after-recycle — unpark of a free Cpu task slot");
+  d.parked = false;
+#endif
   Task fn = std::move(d.fn);
+#ifdef NVGAS_SIMSAN
+  d.fn.poison();  // a stale unpark would invoke a poisoned task
+#endif
   d.next_free = delayed_free_;
   delayed_free_ = idx;
   return fn;

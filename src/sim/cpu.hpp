@@ -76,9 +76,21 @@ class Cpu {
   struct Delayed {
     Task fn;
     std::int32_t next_free = -1;
+#ifdef NVGAS_SIMSAN
+    bool parked = false;  // occupancy audit: unpark of a free slot aborts
+#endif
   };
   std::int32_t park_delayed(Task fn);
   Task unpark_delayed(std::int32_t idx);
+
+ public:
+#ifdef NVGAS_SIMSAN
+  // Death-test hook: unpark a slot out of band, so tests can prove the
+  // double-unpark / use-after-recycle audit aborts. Tests only.
+  void simsan_unpark_slot(std::int32_t idx) { (void)unpark_delayed(idx); }
+#endif
+
+ private:
 
   Engine& engine_;
   int node_;

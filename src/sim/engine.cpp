@@ -23,6 +23,13 @@ std::int32_t Engine::alloc_node() {
   if (free_head_ >= 0) {
     const std::int32_t idx = free_head_;
     free_head_ = pool_[static_cast<std::size_t>(idx)].next;
+#ifdef NVGAS_SIMSAN
+    const EventNode& n = pool_[static_cast<std::size_t>(idx)];
+    simsan_audit(n, "SimSan: canary smashed on free-list node (alloc)");
+    NVGAS_CHECK_MSG(!n.live, "SimSan: free list holds a live event node");
+    NVGAS_CHECK_MSG(n.fn.is_poisoned(),
+                    "SimSan: recycled node escaped poisoning");
+#endif
     return idx;
   }
   pool_.emplace_back();
@@ -31,7 +38,13 @@ std::int32_t Engine::alloc_node() {
 
 void Engine::recycle(std::int32_t idx) {
   EventNode& n = pool_[static_cast<std::size_t>(idx)];
+#ifdef NVGAS_SIMSAN
+  simsan_audit(n, "SimSan: canary smashed on event node (recycle)");
+  NVGAS_CHECK_MSG(n.live, "SimSan: double recycle of event node");
+  n.fn.poison();  // a stale invocation now aborts with a diagnostic
+#else
   n.fn.reset();
+#endif
   n.live = false;
   n.next = free_head_;
   free_head_ = idx;
@@ -126,6 +139,17 @@ Engine::TimerId Engine::schedule(Time t, Callback fn) {
 bool Engine::cancel(TimerId id) {
   if (!id.valid() || id.node >= pool_.size()) return false;
   EventNode& n = pool_[id.node];
+#ifdef NVGAS_SIMSAN
+  // Generation audit: `seq` matching means this token refers to exactly
+  // this scheduled instance. Cancelling it twice is a caller lifecycle
+  // bug (the first cancel already released the closure); cancelling
+  // after the event fired is legal API use and still returns false
+  // below, because the node's seq has moved on or the node is free.
+  if (n.live && n.seq == id.seq && n.cancelled) {
+    util::panic(__FILE__, __LINE__,
+                "SimSan: double cancel of timer (token already cancelled)");
+  }
+#endif
   if (!n.live || n.cancelled || n.seq != id.seq) return false;
   n.cancelled = true;
   n.fn.reset();  // release the closure eagerly
@@ -212,6 +236,11 @@ std::int32_t Engine::pop_next(bool bounded, Time deadline) {
 
 void Engine::execute(std::int32_t idx) {
   EventNode& n = pool_[static_cast<std::size_t>(idx)];
+#ifdef NVGAS_SIMSAN
+  simsan_audit(n, "SimSan: canary smashed on event node (execute)");
+  NVGAS_CHECK_MSG(n.live && !n.cancelled,
+                  "SimSan: executing a recycled or cancelled event node");
+#endif
   NVGAS_DCHECK(n.at >= now_);
   now_ = n.at;
   NVGAS_DCHECK(pending_ > 0);

@@ -96,6 +96,13 @@ class Engine {
   // `deadline` still run) or the queue drains.
   std::uint64_t run_until(Time deadline);
 
+#ifdef NVGAS_SIMSAN
+  // Death-test hook: invoke a node's callback slot directly, bypassing
+  // all scheduling bookkeeping. On a recycled node this hits the poison
+  // vtable and aborts with the use-after-recycle diagnostic. Tests only.
+  void simsan_invoke_slot(std::uint32_t node) { pool_.at(node).fn(); }
+#endif
+
  private:
   static constexpr std::uint32_t kNoNode = 0xffffffffu;
 
@@ -105,8 +112,28 @@ class Engine {
     std::int32_t next = -1;  // bucket chain when scheduled, else free list
     bool cancelled = false;
     bool live = false;  // scheduled (possibly cancelled) vs recycled
+#ifdef NVGAS_SIMSAN
+    // Canaries bracket the callback storage; an overwrite from either
+    // side (chain corruption, closure overrun) trips the audit.
+    std::uint64_t canary_pre = kSimsanCanary;
+#endif
     Callback fn;
+#ifdef NVGAS_SIMSAN
+    std::uint64_t canary_post = kSimsanCanary;
+#endif
   };
+
+#ifdef NVGAS_SIMSAN
+  static constexpr std::uint64_t kSimsanCanary = 0x51edC0DE5AFEC0DEULL;
+  // Canary + lifecycle audit on every pool transition. `seq` doubles as
+  // the generation tag: it is unique per schedule() and never reused, so
+  // a stale TimerId can never match a recycled-and-reused node.
+  void simsan_audit(const EventNode& n, const char* site) const {
+    if (n.canary_pre != kSimsanCanary || n.canary_post != kSimsanCanary) {
+      util::panic(__FILE__, __LINE__, site);
+    }
+  }
+#endif
 
   // 16-byte sort key + pool index for far-future events; the closure
   // stays in the pool, so heap sift operations move only PODs.

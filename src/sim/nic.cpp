@@ -13,6 +13,10 @@ std::int32_t Nic::park_msg(Time when, int src, std::uint64_t bytes,
   if (inflight_free_ >= 0) {
     idx = inflight_free_;
     inflight_free_ = inflight_[static_cast<std::size_t>(idx)].next_free;
+#ifdef NVGAS_SIMSAN
+    NVGAS_CHECK_MSG(!inflight_[static_cast<std::size_t>(idx)].parked,
+                    "SimSan: free list holds an in-flight message slot");
+#endif
   } else {
     inflight_.emplace_back();
     idx = static_cast<std::int32_t>(inflight_.size() - 1);
@@ -22,6 +26,9 @@ std::int32_t Nic::park_msg(Time when, int src, std::uint64_t bytes,
   m.src = src;
   m.bytes = bytes;
   m.deliver = std::move(deliver);
+#ifdef NVGAS_SIMSAN
+  m.parked = true;
+#endif
   return idx;
 }
 
@@ -45,6 +52,7 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
   Nic& dst_nic = fabric_->nic(dst);
   const std::int32_t idx =
       dst_nic.park_msg(at_dst_port, node_, bytes, std::move(deliver));
+  // simlint:allow(D5: &dst_nic lives in the Fabric, which outlives the engine)
   engine.at(at_dst_port, [&dst_nic, idx] { dst_nic.arrive(idx); });
 }
 
@@ -52,6 +60,10 @@ void Nic::arrive(std::int32_t idx) {
   auto& engine = fabric_->engine();
   const auto& p = fabric_->params();
   PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
+#ifdef NVGAS_SIMSAN
+  NVGAS_CHECK_MSG(m.parked,
+                  "SimSan: use-after-recycle — rx of a freed message slot");
+#endif
 
   // rx port occupancy.
   rx_avail_ = std::max(m.when, rx_avail_) + p.nic_gap_ns;
@@ -69,8 +81,16 @@ void Nic::arrive(std::int32_t idx) {
 
 void Nic::deliver_parked(std::int32_t idx) {
   PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
+#ifdef NVGAS_SIMSAN
+  NVGAS_CHECK_MSG(m.parked,
+                  "SimSan: use-after-recycle — double delivery of a message");
+  m.parked = false;
+#endif
   Deliver fn = std::move(m.deliver);
   const Time done = m.when;
+#ifdef NVGAS_SIMSAN
+  m.deliver.poison();  // a stale delivery would invoke a poisoned closure
+#endif
   m.next_free = inflight_free_;
   inflight_free_ = idx;
   fn(done);

@@ -62,6 +62,9 @@ class Nic {
     int src = -1;
     Deliver deliver;
     std::int32_t next_free = -1;
+#ifdef NVGAS_SIMSAN
+    bool parked = false;  // occupancy audit: delivery of a free slot aborts
+#endif
   };
 
   std::int32_t park_msg(Time when, int src, std::uint64_t bytes,

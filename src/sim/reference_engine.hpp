@@ -19,6 +19,7 @@ namespace nvgas::sim {
 
 class ReferenceEngine {
  public:
+  // simlint:allow(D4: frozen reference oracle, correctness only — never benchmarked)
   using Callback = std::function<void()>;
 
   ReferenceEngine() = default;

@@ -34,6 +34,9 @@ class Buffer {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& value) {
+    // Legal byte view, not type punning: casting an object pointer to
+    // std::byte* for memcpy is explicitly allowed ([basic.types.general]);
+    // the value is never reinterpreted in place.
     grow_copy(reinterpret_cast<const std::byte*>(&value), sizeof(T));
   }
 
@@ -50,6 +53,8 @@ class Buffer {
     requires std::is_trivially_copyable_v<T>
   void put_vector(const std::vector<T>& v) {
     put<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+    // Legal byte view of the element array (trivially copyable T); the
+    // bytes are only read through memcpy, never aliased as another type.
     grow_copy(reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T));
   }
 
@@ -87,6 +92,8 @@ class Buffer {
 
     std::string get_string() {
       const auto raw = get_bytes();
+      // Legal byte view: char may alias any object representation
+      // ([basic.lval]); the string constructor copies immediately.
       return {reinterpret_cast<const char*>(raw.data()), raw.size()};
     }
 

@@ -14,6 +14,13 @@
 //   * no target()/target_type() RTTI,
 //   * invoking an empty InlineFunction is a checked fatal error, not
 //     std::bad_function_call.
+//
+// Under -DNVGAS_SIMSAN (see docs/STATIC_ANALYSIS.md) the wrapper also
+// supports poison(): pool owners poison a recycled slot's callback so a
+// use-after-recycle invocation dies with a diagnostic abort instead of
+// silently running a stale or reused closure. A poisoned object may be
+// reassigned (that is the slot being legitimately reused) and may be
+// relocated (pool vectors grow), but never invoked.
 #pragma once
 
 #include <cstddef>
@@ -93,6 +100,22 @@ class InlineFunction<R(Args...), Capacity> {
     }
   }
 
+#ifdef NVGAS_SIMSAN
+  // Mark this slot as recycled: destroy any held callable, fill the
+  // buffer with a poison pattern, and install a vtable whose invoke is a
+  // fatal diagnostic. Reassignment and relocation stay legal (pool slots
+  // are reused and pool vectors grow); only invocation aborts.
+  void poison() noexcept {
+    reset();
+    for (auto& b : buf_) b = kPoisonByte;
+    vt_ = &kPoisonVt;
+  }
+
+  [[nodiscard]] bool is_poisoned() const noexcept { return vt_ == &kPoisonVt; }
+
+  static constexpr unsigned char kPoisonByte = 0xDD;
+#endif
+
   template <typename D>
   static constexpr bool fits_inline =
       sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
@@ -119,6 +142,23 @@ class InlineFunction<R(Args...), Capacity> {
       [](void* s) noexcept { static_cast<D*>(s)->~D(); },
       true,
   };
+
+#ifdef NVGAS_SIMSAN
+  // Poison vtable: invocation is a use-after-recycle; destruction and
+  // relocation are the slot legitimately being reused or the pool
+  // growing, so they stay silent (relocation transfers the poisoned
+  // state via the vt_ pointer alone — the buffer holds no live object).
+  static constexpr VTable kPoisonVt = {
+      [](void*, Args&&...) -> R {
+        ::nvgas::util::panic(__FILE__, __LINE__,
+                             "SimSan: use-after-recycle — invoked a poisoned "
+                             "(recycled) callback slot");
+      },
+      [](void*, void*) noexcept {},
+      [](void*) noexcept {},
+      true,
+  };
+#endif
 
   template <typename D>
   static constexpr VTable kHeapVt = {

@@ -150,7 +150,11 @@ TEST(EngineWheel, CancelIsSingleUse) {
   Engine e;
   auto id = e.at_cancellable(50, [] {});
   EXPECT_TRUE(e.cancel(id));
+#ifndef NVGAS_SIMSAN
+  // Under SimSan a second cancel of a live token is a diagnosed abort
+  // (see simsan_death_test); the plain build documents the false return.
   EXPECT_FALSE(e.cancel(id));  // already cancelled
+#endif
   e.run();
 
   auto id2 = e.after_cancellable(10, [] {});

@@ -1,0 +1,135 @@
+// Determinism double-run gate.
+//
+// Prints the FNV-1a trace hashes of (a) a seeded timing-wheel engine
+// stress schedule and (b) full World integration scenarios in every
+// address-space mode. CI runs the binary TWICE in separate processes and
+// fails if the outputs differ: cross-process comparison is what catches
+// address-order nondeterminism (ASLR moves the heap between runs, so a
+// pointer-keyed ordering or unordered-container iteration shows up as a
+// hash flip even when a single-process rerun looks stable).
+//
+//   determinism_probe [--seed=N]        print one line per scenario hash
+//   determinism_probe --self-check      run every scenario twice in-process
+//                                       and exit 1 on any hash mismatch
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/nvgas.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using nvgas::sim::Time;
+
+// Scenario A: the sim_engine_wheel workload shape — randomized delays
+// around the wheel horizon, nested rescheduling, cancellations.
+std::uint64_t engine_wheel_hash(std::uint64_t seed) {
+  nvgas::sim::Engine e;
+  nvgas::util::Rng rng(seed);
+  std::vector<nvgas::sim::Engine::TimerId> timers;
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = rng.next() % (4 * nvgas::sim::Engine::kDefaultHorizonNs);
+    if (rng.next() % 4 == 0) {
+      timers.push_back(e.at_cancellable(t, [] {}));
+    } else {
+      e.at(t, [&e, &rng] {
+        if (rng.next() % 8 == 0) {
+          e.after(rng.next() % 512, [] {});
+        }
+      });
+    }
+  }
+  for (std::size_t i = 0; i < timers.size(); i += 2) {
+    (void)e.cancel(timers[i]);
+  }
+  e.run();
+  return e.trace_hash();
+}
+
+// Scenario B: a full World integration pass — allocation, one-sided
+// puts/gets, atomics, migration, spanning I/O — on one GAS mode.
+std::uint64_t world_hash(nvgas::GasMode mode, std::uint64_t seed) {
+  nvgas::Config cfg = nvgas::Config::with_nodes(8, mode);
+  cfg.seed = seed;
+  nvgas::World world(cfg);
+  world.run_spmd([&world](nvgas::Context& ctx) -> nvgas::Fiber {
+    const nvgas::Gva table = nvgas::alloc_cyclic(ctx, 8, 4096);
+    for (int b = 0; b < 8; ++b) {
+      co_await nvgas::memput_value<double>(
+          ctx, table.advanced(b * 4096, 4096), ctx.rank() + b * 1.5);
+    }
+    const nvgas::Gva counter = nvgas::alloc_cyclic(ctx, 1, 64);
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await nvgas::fetch_add(ctx, counter, 7);
+    }
+    (void)co_await nvgas::memget_value<double>(
+        ctx, table.advanced(((ctx.rank() + 3) % 8) * 4096, 4096));
+    co_await world.coll().barrier(ctx);
+    if (world.gas().supports_migration() && ctx.rank() == 0) {
+      co_await nvgas::migrate(ctx, table, (table.home(ctx.ranks()) + 2) % ctx.ranks());
+      (void)co_await nvgas::memget_value<double>(ctx, table);
+    }
+    std::vector<std::byte> bulk(2 * 4096);
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+      bulk[i] = static_cast<std::byte>((i + static_cast<std::size_t>(ctx.rank())) & 0xff);
+    }
+    co_await nvgas::memput_span(ctx, table.advanced(5 * 4096, 4096), bulk);
+    (void)co_await nvgas::memget_span(ctx, table.advanced(5 * 4096, 4096), bulk.size());
+    co_await world.coll().barrier(ctx);
+    nvgas::free_alloc(ctx, counter);
+    nvgas::free_alloc(ctx, table);
+  });
+  return world.engine().trace_hash();
+}
+
+struct Scenario {
+  const char* name;
+  std::uint64_t (*run)(std::uint64_t seed);
+};
+
+std::uint64_t world_pgas(std::uint64_t s) { return world_hash(nvgas::GasMode::kPgas, s); }
+std::uint64_t world_sw(std::uint64_t s) { return world_hash(nvgas::GasMode::kAgasSw, s); }
+std::uint64_t world_net(std::uint64_t s) { return world_hash(nvgas::GasMode::kAgasNet, s); }
+
+constexpr Scenario kScenarios[] = {
+    {"engine_wheel", engine_wheel_hash},
+    {"world_pgas", world_pgas},
+    {"world_agas_sw", world_sw},
+    {"world_agas_net", world_net},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nvgas::util::Options opt(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 0x5eed));
+  bool self_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-check") == 0) self_check = true;
+  }
+
+  int failures = 0;
+  for (const Scenario& s : kScenarios) {
+    const std::uint64_t h1 = s.run(seed);
+    if (self_check) {
+      const std::uint64_t h2 = s.run(seed);
+      const bool ok = h1 == h2;
+      std::printf("%-16s %s (0x%016llx%s)\n", s.name, ok ? "ok" : "MISMATCH",
+                  static_cast<unsigned long long>(h1),
+                  ok ? "" : " vs rerun");
+      if (!ok) {
+        std::fprintf(stderr,
+                     "determinism_probe: %s rerun hash 0x%016llx != 0x%016llx\n",
+                     s.name, static_cast<unsigned long long>(h2),
+                     static_cast<unsigned long long>(h1));
+        ++failures;
+      }
+    } else {
+      std::printf("%s_hash=0x%016llx\n", s.name,
+                  static_cast<unsigned long long>(h1));
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

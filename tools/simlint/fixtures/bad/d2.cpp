@@ -1,0 +1,18 @@
+// simlint fixture: every D2 nondeterminism source must fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad_entropy() {
+  auto wall = std::chrono::system_clock::now();          // simlint-expect(D2)
+  auto mono = std::chrono::steady_clock::now();          // simlint-expect(D2)
+  std::random_device rd;                                 // simlint-expect(D2)
+  std::srand(42);                                        // simlint-expect(D2)
+  unsigned r = static_cast<unsigned>(std::rand());       // simlint-expect(D2)
+  auto t = time(nullptr);                                // simlint-expect(D2)
+  auto t2 = std::time(nullptr);                          // simlint-expect(D2)
+  (void)wall;
+  (void)mono;
+  return r + rd() + static_cast<unsigned>(t) + static_cast<unsigned>(t2);
+}

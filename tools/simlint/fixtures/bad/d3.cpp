@@ -1,0 +1,13 @@
+// simlint fixture: pointer-keyed ordered containers must fire D3.
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+struct BadAddressOrder {
+  std::map<Node*, int> by_node;                   // simlint-expect(D3)
+  std::set<const Node*> seen;                     // simlint-expect(D3)
+  std::map<int, int, std::less<int*>> weird;      // simlint-expect(D3)
+};

@@ -1,0 +1,19 @@
+// simlint fixture: by-reference captures handed to Engine scheduling
+// entry points must fire D5.
+struct FakeEngine {
+  template <typename F>
+  void at(unsigned long t, F fn);
+  template <typename F>
+  void after(unsigned long d, F fn);
+  template <typename F>
+  int at_cancellable(unsigned long t, F fn);
+};
+
+void bad_captures(FakeEngine& engine) {
+  int local = 0;
+  engine.at(10, [&] { ++local; });                       // simlint-expect(D5)
+  engine.after(5, [&local] { ++local; });                // simlint-expect(D5)
+  (void)engine.at_cancellable(7, [this_unused = 0, &local] {  // simlint-expect(D5)
+    ++local;
+  });
+}

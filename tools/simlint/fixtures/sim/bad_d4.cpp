@@ -1,0 +1,8 @@
+// simlint fixture: this file lives under a sim/ path component, so
+// std::function declarations must fire D4.
+#include <functional>
+
+struct HotPath {
+  std::function<void()> callback;                       // simlint-expect(D4)
+  using Handler = std::function<void(int)>;             // simlint-expect(D4)
+};

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""simlint self-test.
+
+Every fixture line marked `// simlint-expect(<rule>)` must produce
+exactly that finding, and no fixture may produce a finding on an
+unmarked line — so each rule both fires on the seeded violations and
+stays quiet on the known-good constructs (including justified
+suppressions).
+
+Run:  python3 tools/simlint/test_simlint.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import simlint  # noqa: E402
+
+EXPECT_RE = re.compile(r"simlint-expect\(([A-Za-z0-9]+)\)")
+
+
+def expected_findings(root: pathlib.Path):
+    expected = set()
+    for fp in sorted(root.rglob("*.cpp")):
+        for lineno, line in enumerate(
+                fp.read_text(encoding="utf-8").splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((str(fp), lineno, m.group(1)))
+    return expected
+
+
+def main() -> int:
+    fixtures = HERE / "fixtures"
+    failures = []
+
+    expected = expected_findings(fixtures)
+    actual = {(f.path, f.line, f.rule)
+              for f in simlint.lint_paths([str(fixtures)], set(simlint.RULES))}
+
+    for miss in sorted(expected - actual):
+        failures.append(f"MISSING: expected {miss[2]} at {miss[0]}:{miss[1]} "
+                        "did not fire")
+    for extra in sorted(actual - expected):
+        failures.append(f"SPURIOUS: unexpected {extra[2]} at "
+                        f"{extra[0]}:{extra[1]}")
+
+    # Every rule must be exercised by at least one fixture violation.
+    fired_rules = {r for (_, _, r) in actual}
+    for rule in simlint.RULES:
+        if rule not in fired_rules:
+            failures.append(f"COVERAGE: no fixture exercises rule {rule}")
+
+    # CLI contract: violations exit 1, clean tree exits 0.
+    bad = subprocess.run(
+        [sys.executable, str(HERE / "simlint.py"), str(fixtures / "bad")],
+        capture_output=True, text=True)
+    if bad.returncode != 1:
+        failures.append(f"CLI: expected exit 1 on bad fixtures, "
+                        f"got {bad.returncode}\n{bad.stdout}{bad.stderr}")
+    good = subprocess.run(
+        [sys.executable, str(HERE / "simlint.py"),
+         str(fixtures / "sim" / "good.cpp")],
+        capture_output=True, text=True)
+    if good.returncode != 0:
+        failures.append(f"CLI: expected exit 0 on good fixture, "
+                        f"got {good.returncode}\n{good.stdout}{good.stderr}")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"simlint self-test: FAILED ({len(failures)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"simlint self-test: OK ({len(expected)} seeded violations, "
+          f"{len(simlint.RULES)} rules covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
