@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "gas/invariants.hpp"
+#include "util/format.hpp"
+
 namespace nvgas::core {
 
 namespace {
@@ -283,7 +286,15 @@ void AgasNet::memput_notify(sim::TaskCtx& task, int node, gas::Gva dst,
   op.offset = dst.offset();
   op.data = std::move(data);
   op.on_done = std::move(done);
-  op.on_remote = std::move(remote_notify);
+  op.on_remote = instrument_signal(std::move(remote_notify));
+  if (observer_ != nullptr) {
+    observer_->on_remote_op_begin(node, op.key);
+    op.on_done = [obs = observer_, node, key = op.key,
+                  inner = std::move(op.on_done)](sim::Time t) {
+      obs->on_remote_op_end(node, key);
+      if (inner) inner(t);
+    };
+  }
   issue(task, node, std::move(op));
 }
 
@@ -298,6 +309,15 @@ void AgasNet::memget(sim::TaskCtx& task, int node, gas::Gva src,
   op.offset = src.offset();
   op.len = static_cast<std::uint32_t>(len);
   op.on_data = std::move(done);
+  if (observer_ != nullptr) {
+    observer_->on_remote_op_begin(node, op.key);
+    op.on_data = [obs = observer_, node, key = op.key,
+                  inner = std::move(op.on_data)](sim::Time t,
+                                                 std::vector<std::byte> d) {
+      obs->on_remote_op_end(node, key);
+      if (inner) inner(t, std::move(d));
+    };
+  }
   issue(task, node, std::move(op));
 }
 
@@ -312,6 +332,14 @@ void AgasNet::fetch_add(sim::TaskCtx& task, int node, gas::Gva addr,
   op.offset = addr.offset();
   op.operand = operand;
   op.on_u64 = std::move(done);
+  if (observer_ != nullptr) {
+    observer_->on_remote_op_begin(node, op.key);
+    op.on_u64 = [obs = observer_, node, key = op.key,
+                 inner = std::move(op.on_u64)](sim::Time t, std::uint64_t v) {
+      obs->on_remote_op_end(node, key);
+      if (inner) inner(t, v);
+    };
+  }
   issue(task, node, std::move(op));
 }
 
@@ -393,6 +421,7 @@ void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
   }
 
   e->in_flight = true;
+  if (observer_ != nullptr) observer_->on_migration_start(key);
   migrations_[key] = Migration{dst, initiator, 0, std::move(done)};
 
   // The single CPU involvement: the destination allocates backing store
@@ -510,6 +539,9 @@ void AgasNet::mig_commit(sim::Time t, gas::Gva block_base) {
   e->base = mig.dst_lva;
   ++e->generation;
   e->in_flight = false;
+  if (observer_ != nullptr) {
+    observer_->on_migration_commit(key, e->owner, e->generation);
+  }
 
   auto& counters = fabric_->counters();
   ++counters.migrations;
@@ -562,6 +594,89 @@ std::pair<int, sim::Lva> AgasNet::drop_block_state(gas::Gva block_base) {
   // Collective free: every NIC drops its entry (pinned or cached).
   for (auto& tlb : tlbs_) tlb->erase(key);
   return place;
+}
+
+std::string AgasNet::audit_translation() const {
+  const int n_nodes = fabric_->nodes();
+  for (int n = 0; n < n_nodes; ++n) {
+    for (const auto& [key, e] : tlb(n).entries()) {
+      const auto k = static_cast<unsigned long long>(key);
+      const int home = base_of_key(key).home(n_nodes);
+      const net::TlbEntry* auth = tlb(home).peek(key);
+      if (auth == nullptr) {
+        return util::format(
+            "node %d holds a TLB entry for block %llx with no home entry at "
+            "node %d",
+            n, k, home);
+      }
+      if (n == home) {
+        if (!e.pinned) {
+          return util::format("home entry for block %llx at node %d is not "
+                              "pinned",
+                              k, home);
+        }
+        continue;
+      }
+      if (e.in_flight) {
+        return util::format(
+            "in-flight flag for block %llx leaked to non-home node %d", k, n);
+      }
+      // While a remap is in flight the destination (pinned) and previous
+      // owner (hint) may already carry generation+1; otherwise nothing may
+      // run ahead of the home.
+      const std::uint32_t allowed =
+          auth->generation + (auth->in_flight ? 1u : 0u);
+      if (e.generation > allowed) {
+        return util::format(
+            "node %d holds generation %u of block %llx beyond the "
+            "authoritative generation %u (in_flight=%d)",
+            n, e.generation, k, auth->generation,
+            static_cast<int>(auth->in_flight));
+      }
+      if (!auth->in_flight && e.generation == auth->generation &&
+          (e.owner != auth->owner || e.base != auth->base)) {
+        return util::format(
+            "current-generation entry for block %llx at node %d says "
+            "{owner=%d base=%llx} but the home says {owner=%d base=%llx}",
+            k, n, e.owner, static_cast<unsigned long long>(e.base),
+            auth->owner, static_cast<unsigned long long>(auth->base));
+      }
+      if (e.pinned && e.owner != n) {
+        return util::format(
+            "pinned entry for block %llx at node %d, which is neither its "
+            "home (%d) nor its owner (%d)",
+            k, n, home, e.owner);
+      }
+    }
+  }
+  return {};
+}
+
+std::string AgasNet::audit_quiescent() const {
+  if (!migrations_.empty()) {
+    return util::format("%zu migration(s) never committed", migrations_.size());
+  }
+  if (!queued_ops_.empty()) {
+    return util::format("%zu block(s) still hold ops queued behind a "
+                        "migration",
+                        queued_ops_.size());
+  }
+  if (!queued_migs_.empty()) {
+    return util::format("%zu block(s) still hold queued migrations",
+                        queued_migs_.size());
+  }
+  const int n_nodes = fabric_->nodes();
+  for (int n = 0; n < n_nodes; ++n) {
+    for (const auto& [key, e] : tlb(n).entries()) {
+      if (e.in_flight) {
+        return util::format(
+            "block %llx still marked in-flight at node %d with no migration "
+            "outstanding",
+            static_cast<unsigned long long>(key), n);
+      }
+    }
+  }
+  return {};
 }
 
 std::pair<int, sim::Lva> AgasNet::owner_of(gas::Gva block) const {

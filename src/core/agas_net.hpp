@@ -69,6 +69,15 @@ class AgasNet final : public gas::GasBase {
 
   [[nodiscard]] std::pair<int, sim::Lva> owner_of(gas::Gva block) const override;
 
+  // mcheck invariant audits (see docs/MODEL_CHECKING.md). Unlike the
+  // software AGAS, non-home TLB entries MAY be stale — but only by
+  // bounded amounts: an entry's generation can never exceed the home's
+  // (+1 while a remap is in flight), current-generation entries must
+  // agree with the home on owner/base, and pinned or in-flight state is
+  // confined to the home (plus the committed new owner's pinned copy).
+  [[nodiscard]] std::string audit_translation() const override;
+  [[nodiscard]] std::string audit_quiescent() const override;
+
   [[nodiscard]] const net::NicTlb& tlb(int node) const {
     return *tlbs_.at(static_cast<std::size_t>(node));
   }

@@ -1,0 +1,461 @@
+#include "core/mcheck.hpp"
+
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "util/format.hpp"
+
+namespace nvgas::core {
+namespace {
+
+using gas::Gva;
+using gas::HistOp;
+
+// --- scenario library -------------------------------------------------------
+
+// Sixteen single-writer words race two migrations of their block.
+// Verifies that no acked write is ever lost by the move (the copy and
+// the fence / forwarding must hand every landed byte to the new owner).
+Scenario move_under_put() {
+  Scenario s;
+  s.name = "move-under-put";
+  s.description = "puts to distinct words race two migrations of the block";
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [&world, block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      const int n = ctx.ranks();
+      // Four writers, four words each, issued as a burst per writer so
+      // many same-destination arrivals share the commutativity window.
+      for (int writer = 1; writer <= 4; ++writer) {
+        const auto first = static_cast<std::uint64_t>(writer - 1) * 4;
+        ctx.spawn(writer, [b, first](Context& c) -> Fiber {
+          auto gate = std::make_shared<rt::AndGate>(4);
+          for (std::uint64_t w = first; w < first + 4; ++w) {
+            memput_value_nb<std::uint64_t>(
+                c, b.advanced(static_cast<std::int64_t>(w) * 8, 256),
+                0x100 + w, *gate);
+          }
+          co_await *gate;
+        });
+      }
+      if (world.gas().supports_migration()) {
+        ctx.spawn(5 % n, [b, n](Context& c) -> Fiber {
+          co_await migrate(c, b, 6 % n);
+          co_await migrate(c, b, 7 % n);
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>([&world, &obs, block] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      for (std::uint64_t w = 0; w < 16; ++w) {
+        const auto v = world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x100 + w) {
+          obs.fail(util::format(
+              "move-under-put: word %llu reads %llx at final owner %d, "
+              "expected %llx (an acked write was lost by the move)",
+              static_cast<unsigned long long>(w),
+              static_cast<unsigned long long>(v), owner,
+              static_cast<unsigned long long>(0x100 + w)));
+          return;
+        }
+      }
+    });
+  };
+  return s;
+}
+
+// Concurrent put/put/fadd/get traffic on ONE word, recorded as a history
+// and checked for sequential consistency (Wing–Gong) at quiescence. A
+// migration runs underneath where the mode supports it.
+Scenario put_put_race() {
+  Scenario s;
+  s.name = "put-put-race";
+  s.description = "racing puts, a fetch-add and reads on one word, checked "
+                  "for sequential consistency";
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [&world, &obs, block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      const int n = ctx.ranks();
+      for (int writer = 1; writer <= 3; ++writer) {
+        ctx.spawn(writer, [&world, &obs, b, writer](Context& c) -> Fiber {
+          for (int round = 0; round < 2; ++round) {
+            HistOp op;
+            op.kind = HistOp::Kind::kPut;
+            op.proc = writer;
+            op.value = static_cast<std::uint64_t>(writer + 8 * round);
+            op.invoke = world.now();
+            co_await memput_value<std::uint64_t>(c, b, op.value);
+            op.complete = world.now();
+            obs.record(op);
+          }
+        });
+      }
+      for (int reader = 4; reader <= 5; ++reader) {
+        ctx.spawn(reader % n, [&world, &obs, b, reader, n](Context& c) -> Fiber {
+          for (int i = 0; i < 3; ++i) {
+            HistOp op;
+            op.kind = HistOp::Kind::kGet;
+            op.proc = reader % n;
+            op.invoke = world.now();
+            op.result = co_await memget_value<std::uint64_t>(c, b);
+            op.complete = world.now();
+            obs.record(op);
+          }
+        });
+      }
+      for (int adder = 6; adder <= 7; ++adder) {
+        ctx.spawn(adder % n, [&world, &obs, b, adder, n](Context& c) -> Fiber {
+          HistOp op;
+          op.kind = HistOp::Kind::kFadd;
+          op.proc = adder % n;
+          op.value = adder == 6 ? 0x10u : 0x100u;
+          op.invoke = world.now();
+          op.result = co_await fetch_add(c, b, op.value);
+          op.complete = world.now();
+          obs.record(op);
+        });
+      }
+      if (world.gas().supports_migration()) {
+        ctx.spawn(1, [b, n](Context& c) -> Fiber {
+          co_await migrate(c, b, 2 % n);
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>();  // linearizability runs at quiescence
+  };
+  return s;
+}
+
+// Every rank warms its translation (becoming a sharer / caching a TLB
+// entry), then the block migrates while all ranks put through their —
+// now stale — translations. Exercises the invalidation fence (sw) and
+// forwarding/piggyback (net); the structural audit at commit proves no
+// undetectably stale entry survives.
+Scenario stale_cache_storm() {
+  Scenario s;
+  s.name = "stale-cache-storm";
+  s.description = "all ranks cache a translation, then put through it while "
+                  "the block migrates";
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [&world, block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      const int n = ctx.ranks();
+      auto warmed = std::make_shared<rt::AndGate>(static_cast<std::uint64_t>(n - 1));
+      const rt::LcoRef gref = ctx.make_ref(*warmed);
+      for (int r = 1; r < n; ++r) {
+        ctx.spawn(r, [b, gref, warmed](Context& c) -> Fiber {
+          // Warm: registers this rank as a sharer / fills its NIC TLB.
+          (void)co_await memget_value<std::uint64_t>(c, b);
+          c.set_lco(gref);
+          // Put through the (soon stale) translation.
+          const auto w = static_cast<std::uint64_t>(c.rank());
+          co_await memput_value<std::uint64_t>(
+              c, b.advanced(static_cast<std::int64_t>(w) * 8, 256), 0x200 + w);
+        });
+      }
+      co_await *warmed;  // every rank holds a translation before the move
+      if (world.gas().supports_migration()) {
+        co_await migrate(ctx, b, (b.home(n) + 1) % n);
+      }
+    });
+    return std::function<void()>([&world, &obs, block] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      const int n = world.ranks();
+      for (int r = 1; r < n; ++r) {
+        const auto w = static_cast<std::uint64_t>(r);
+        const auto v = world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x200 + w) {
+          obs.fail(util::format(
+              "stale-cache-storm: rank %d's put reads back %llx at final "
+              "owner %d, expected %llx (stale translation lost the write)",
+              r, static_cast<unsigned long long>(v), owner,
+              static_cast<unsigned long long>(0x200 + w)));
+          return;
+        }
+      }
+    });
+  };
+  return s;
+}
+
+// Two put-with-remote-notification producers race two concurrently
+// requested migrations (the second queues behind the first at the home).
+// The observer's signal ledger proves each notification fires exactly
+// once; waiting consumers prove it fires at all (else: deadlock).
+Scenario fence_chain_signal() {
+  Scenario s;
+  s.name = "fence-chain-signal";
+  s.description = "memput_notify producers race chained migrations; "
+                  "notifications must fire exactly once";
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    auto evs = std::make_shared<std::vector<std::unique_ptr<rt::Event>>>();
+    for (int i = 0; i < 8; ++i) evs->push_back(std::make_unique<rt::Event>());
+    world.spawn(0, [&world, block, evs](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      const int n = ctx.ranks();
+      // Four producers, two notifications each, every consumer on a
+      // different rank.
+      for (int i = 0; i < 4; ++i) {
+        const int producer = 1 + i;
+        std::vector<rt::LcoRef> refs;
+        for (int round = 0; round < 2; ++round) {
+          const int slot = i + 4 * round;
+          const int consumer = (5 + slot) % n;
+          refs.push_back(world.runtime().register_lco(
+              consumer, *(*evs)[static_cast<std::size_t>(slot)]));
+          ctx.spawn(consumer, [evs, slot](Context&) -> Fiber {
+            co_await *(*evs)[static_cast<std::size_t>(slot)];
+          });
+        }
+        ctx.spawn(producer, [b, refs, i](Context& c) -> Fiber {
+          co_await memput_signal_value<std::uint64_t>(
+              c, b.advanced(static_cast<std::int64_t>(i) * 8, 256),
+              0xaa + static_cast<std::uint64_t>(i), refs[0]);
+          co_await memput_signal_value<std::uint64_t>(
+              c, b.advanced(static_cast<std::int64_t>(i + 8) * 8, 256),
+              0xba + static_cast<std::uint64_t>(i), refs[1]);
+        });
+      }
+      // Background puts keep the home busy while the chain runs.
+      for (int r = 5; r <= 7; ++r) {
+        const auto w = static_cast<std::uint64_t>(r);
+        ctx.spawn(r % n, [b, w](Context& c) -> Fiber {
+          co_await memput_value<std::uint64_t>(
+              c, b.advanced(static_cast<std::int64_t>(w) * 8, 256), 0x300 + w);
+        });
+      }
+      if (world.gas().supports_migration()) {
+        // Concurrent requests: the second queues at the home and chains.
+        ctx.spawn(3 % n, [b, n](Context& c) -> Fiber {
+          co_await migrate(c, b, 3 % n);
+        });
+        ctx.spawn(4 % n, [b, n](Context& c) -> Fiber {
+          co_await migrate(c, b, 4 % n);
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>([&world, &obs, block, evs] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        const auto v =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + i * 8);
+        const auto v2 =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + (i + 8) * 8);
+        if (v != 0xaa + i || v2 != 0xba + i) {
+          obs.fail(util::format(
+              "fence-chain-signal: producer %llu's words read %llx/%llx at "
+              "final owner %d, expected %llx/%llx",
+              static_cast<unsigned long long>(i),
+              static_cast<unsigned long long>(v),
+              static_cast<unsigned long long>(v2), owner,
+              static_cast<unsigned long long>(0xaa + i),
+              static_cast<unsigned long long>(0xba + i)));
+          return;
+        }
+      }
+      for (std::uint64_t w = 5; w <= 7; ++w) {
+        const auto v =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x300 + w) {
+          obs.fail(util::format(
+              "fence-chain-signal: background word %llu reads %llx, "
+              "expected %llx",
+              static_cast<unsigned long long>(w),
+              static_cast<unsigned long long>(v),
+              static_cast<unsigned long long>(0x300 + w)));
+          return;
+        }
+      }
+      for (const auto& ev : *evs) {
+        if (!ev->triggered()) {
+          obs.fail("fence-chain-signal: a remote notification never fired");
+          return;
+        }
+      }
+    });
+  };
+  return s;
+}
+
+// --- single-schedule execution ----------------------------------------------
+
+struct RunOutcome {
+  std::uint64_t order_hash = 0;
+  std::uint64_t checks = 0;
+  std::vector<std::uint64_t> points;  // commutative choice points
+  bool ok = true;
+  std::string message;
+};
+
+RunOutcome run_schedule(const Scenario& sc, const McheckOptions& opt,
+                        const sim::Schedule& schedule) {
+  Config cfg = Config::with_nodes(opt.nodes, opt.mode);
+  cfg.gas_costs.fault_sw_skip_one_sharer_inv = opt.fault_sw_skip_sharer_inv;
+
+  // Construction order is destruction-safety: the Explorer outlives the
+  // World (NICs hold a raw pointer); the observer is declared after the
+  // World so its detaching destructor runs while the manager is alive.
+  sim::Explorer explorer(opt.window_ns);
+  explorer.arm(schedule);
+  World world(cfg);
+  world.fabric().set_explorer(&explorer);
+  gas::InvariantObserver obs(world.gas());
+
+  auto verify = sc.start(world, obs);
+  const std::uint64_t executed = world.run(opt.max_events);
+
+  if (executed >= opt.max_events) {
+    obs.fail(util::format("livelock: still busy after %llu events",
+                          static_cast<unsigned long long>(executed)));
+  } else if (world.runtime().live_fibers() != 0) {
+    obs.fail(util::format("deadlock: %zu fiber(s) suspended after drain",
+                          world.runtime().live_fibers()));
+  } else {
+    if (verify) verify();
+    (void)obs.check_quiescent(world.counters());
+  }
+
+  RunOutcome out;
+  out.order_hash = explorer.order_hash();
+  out.checks = obs.checks();
+  out.points = explorer.commutative_points();
+  out.ok = obs.ok();
+  out.message = obs.first_violation();
+  return out;
+}
+
+McheckResult make_result(const Scenario& sc, const McheckOptions& opt) {
+  McheckResult res;
+  res.scenario = sc.name;
+  res.mode = opt.mode;
+  return res;
+}
+
+}  // namespace
+
+std::vector<Scenario> scenario_library() {
+  std::vector<Scenario> lib;
+  lib.push_back(move_under_put());
+  lib.push_back(put_put_race());
+  lib.push_back(stale_cache_storm());
+  lib.push_back(fence_chain_signal());
+  return lib;
+}
+
+McheckResult run_one(const Scenario& sc, const McheckOptions& opt,
+                     const sim::Schedule& schedule) {
+  McheckResult res = make_result(sc, opt);
+  const RunOutcome out = run_schedule(sc, opt, schedule);
+  res.schedules_run = 1;
+  res.distinct_orders = 1;
+  res.invariant_checks = out.checks;
+  res.choice_points = out.points.size();
+  if (!out.ok) {
+    res.violation = true;
+    res.counterexample = schedule.str();
+    res.message = out.message;
+  }
+  return res;
+}
+
+McheckResult run_scenario(const Scenario& sc, const McheckOptions& opt) {
+  McheckResult res = make_result(sc, opt);
+
+  // Baseline: the unperturbed order. Its commutative points become the
+  // DFS alphabet; its order hash seeds the pruning set.
+  const RunOutcome base = run_schedule(sc, opt, sim::Schedule{});
+  res.schedules_run = 1;
+  res.invariant_checks = base.checks;
+  res.choice_points = base.points.size();
+  // simlint:allow(D1: membership set, never iterated)
+  std::unordered_set<std::uint64_t> orders;
+  orders.insert(base.order_hash);
+  if (!base.ok) {
+    res.violation = true;
+    res.counterexample = sim::Schedule{}.str();
+    res.message = base.message;
+    res.distinct_orders = orders.size();
+    return res;
+  }
+
+  // Iterative-deepening DFS over delay assignments. A schedule at depth d
+  // delays d distinct injections; only schedules that produced a NEW
+  // delivery order are extended (delaying a message that did not reorder
+  // anything cannot open new interleavings), and extensions add only
+  // injection indices above the schedule's largest — each delay set is
+  // enumerated once.
+  std::vector<sim::Schedule> frontier{sim::Schedule{}};
+  for (int depth = 1;
+       depth <= opt.delay_bound && res.schedules_run < opt.max_schedules;
+       ++depth) {
+    std::vector<sim::Schedule> next;
+    for (const auto& sched : frontier) {
+      if (res.schedules_run >= opt.max_schedules) break;
+      const std::uint64_t min_index =
+          sched.empty() ? 0 : sched.delays.back().first + 1;
+      for (const std::uint64_t point : base.points) {
+        if (point < min_index) continue;
+        if (res.schedules_run >= opt.max_schedules) break;
+        for (std::uint8_t choice = 1;
+             choice <= static_cast<std::uint8_t>(sim::Explorer::kChoices);
+             ++choice) {
+          if (res.schedules_run >= opt.max_schedules) break;
+          sim::Schedule ext = sched;
+          ext.set(point, choice);
+          const RunOutcome out = run_schedule(sc, opt, ext);
+          ++res.schedules_run;
+          res.invariant_checks += out.checks;
+          const bool fresh = orders.insert(out.order_hash).second;
+          if (!out.ok) {
+            res.violation = true;
+            res.counterexample = ext.str();
+            res.message = out.message;
+            res.distinct_orders = orders.size();
+            return res;
+          }
+          if (fresh) next.push_back(std::move(ext));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  res.distinct_orders = orders.size();
+  return res;
+}
+
+const char* mode_name(gas::GasMode mode) {
+  switch (mode) {
+    case gas::GasMode::kPgas: return "pgas";
+    case gas::GasMode::kAgasSw: return "agas-sw";
+    case gas::GasMode::kAgasNet: return "agas-net";
+  }
+  return "?";
+}
+
+bool parse_mode(std::string_view text, gas::GasMode* out) {
+  if (text == "pgas") {
+    *out = gas::GasMode::kPgas;
+  } else if (text == "agas-sw") {
+    *out = gas::GasMode::kAgasSw;
+  } else if (text == "agas-net") {
+    *out = gas::GasMode::kAgasNet;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace nvgas::core

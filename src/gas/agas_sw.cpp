@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "gas/invariants.hpp"
+#include "util/format.hpp"
+
 namespace nvgas::gas {
 
 namespace {
@@ -124,9 +127,13 @@ void AgasSw::handle_resolve_request(sim::TaskCtx& task, Gva block_base,
 // still in flight against this block" before acking an invalidation.
 // ---------------------------------------------------------------------------
 
-void AgasSw::begin_op(int node, std::uint64_t key) { ++st(node).outstanding[key]; }
+void AgasSw::begin_op(int node, std::uint64_t key) {
+  ++st(node).outstanding[key];
+  if (observer_ != nullptr) observer_->on_remote_op_begin(node, key);
+}
 
 void AgasSw::end_op(int node, std::uint64_t key, sim::Time t) {
+  if (observer_ != nullptr) observer_->on_remote_op_end(node, key);
   NodeState& ns = st(node);
   const auto it = ns.outstanding.find(key);
   NVGAS_CHECK(it != ns.outstanding.end() && it->second > 0);
@@ -155,6 +162,7 @@ void AgasSw::memput_notify(sim::TaskCtx& task, int node, Gva dst,
                            net::OnDone remote_notify) {
   heap_->check_extent(dst, data.size());
   ++fabric_->counters().gas_memputs;
+  remote_notify = instrument_signal(std::move(remote_notify));
   const std::uint64_t key = dst.block_key();
   const std::uint32_t off = dst.offset();
   with_translation(
@@ -291,6 +299,7 @@ void AgasSw::start_migration(sim::TaskCtx& task, Gva block_base, int dst,
 
   task.charge(costs_.dir_update_ns);
   e.moving = true;
+  if (observer_ != nullptr) observer_->on_migration_start(key);
   Migration mig;
   mig.dst = dst;
   mig.initiator = initiator;
@@ -298,10 +307,16 @@ void AgasSw::start_migration(sim::TaskCtx& task, Gva block_base, int dst,
 
   // Invalidate every sharer; each acks only once its in-flight RMAs have
   // drained. The home fences its own outstanding RMAs the same way.
-  mig.pending_acks = static_cast<std::uint32_t>(e.sharers.size());
+  auto sharers = e.sharers;  // copy: set mutates on replay
+  if (costs_.fault_sw_skip_one_sharer_inv && !sharers.empty()) {
+    // Test-only seeded fault (mcheck self-validation): "forget" the
+    // highest-ranked sharer — send it no INV and do not await its ACK —
+    // so its cached translation survives the move stale.
+    sharers.erase(std::prev(sharers.end()));
+  }
+  mig.pending_acks = static_cast<std::uint32_t>(sharers.size());
   const bool home_fence = st(home).outstanding.count(key) != 0;
   if (home_fence) ++mig.pending_acks;
-  const auto sharers = e.sharers;  // copy: set mutates on replay
   hs.migrations[key] = std::move(mig);
 
   for (int s : sharers) {
@@ -358,6 +373,9 @@ void AgasSw::migration_acked(sim::TaskCtx& task, Gva block_base) {
 void AgasSw::migration_alloc(sim::TaskCtx& task, Gva block_base) {
   const std::uint64_t key = block_base.block_key();
   const int home = home_of_key(block_base);
+  // Reached exactly once per migration, when the invalidation/drain
+  // fence has fully completed (all sharer ACKs in, home drained).
+  if (observer_ != nullptr) observer_->on_fence_complete(key);
   Migration& mig = st(home).migrations.at(key);
   const std::uint32_t bsize = heap_->meta_of(block_base).block_size;
   const int dst = mig.dst;
@@ -444,6 +462,9 @@ void AgasSw::finish_migration(sim::TaskCtx& task, Gva block_base) {
   ++e.generation;
   e.moving = false;
   e.sharers.clear();
+  if (observer_ != nullptr) {
+    observer_->on_migration_commit(key, e.owner, e.generation);
+  }
 
   auto& counters = fabric_->counters();
   ++counters.migrations;
@@ -510,6 +531,58 @@ bool AgasSw::queued_migrations_empty(std::uint64_t key) const {
     if (it != ns.queued_migrations.end() && !it->second.empty()) return false;
   }
   return true;
+}
+
+std::string AgasSw::audit_translation() const {
+  for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+    const NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+    for (const auto& [key, cached] : ns.cache.entries()) {
+      const int home = Gva(key).home(fabric_->nodes());
+      const Directory& dir = nodes_[static_cast<std::size_t>(home)].dir;
+      if (!dir.contains(key)) {
+        return util::format("node %d caches a translation for block %llx "
+                            "with no directory entry at home %d",
+                            n, static_cast<unsigned long long>(key), home);
+      }
+      const DirEntry& e = dir.at(key);
+      if (cached.generation != e.generation || cached.owner != e.owner ||
+          cached.lva != e.lva) {
+        return util::format(
+            "node %d holds a stale translation for block %llx: cached "
+            "{owner %d, lva %llx, gen %u} vs directory {owner %d, lva "
+            "%llx, gen %u}",
+            n, static_cast<unsigned long long>(key), cached.owner,
+            static_cast<unsigned long long>(cached.lva), cached.generation,
+            e.owner, static_cast<unsigned long long>(e.lva), e.generation);
+      }
+    }
+  }
+  return {};
+}
+
+std::string AgasSw::audit_quiescent() const {
+  for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+    const NodeState& ns = nodes_[static_cast<std::size_t>(n)];
+    if (!ns.pending_resolves.empty()) {
+      return util::format("node %d has unanswered resolve requests", n);
+    }
+    if (!ns.outstanding.empty()) {
+      return util::format("node %d has unfinished in-flight RMAs", n);
+    }
+    if (!ns.fence_waiters.empty()) {
+      return util::format("node %d has fence waiters never released", n);
+    }
+    if (!ns.deferred.empty()) {
+      return util::format("home %d has deferred work never replayed", n);
+    }
+    if (!ns.migrations.empty()) {
+      return util::format("home %d has migrations never committed", n);
+    }
+    if (!ns.queued_migrations.empty()) {
+      return util::format("home %d has queued migrations never started", n);
+    }
+  }
+  return {};
 }
 
 std::pair<int, sim::Lva> AgasSw::owner_of(Gva block) const {

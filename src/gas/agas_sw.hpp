@@ -60,6 +60,12 @@ class AgasSw final : public GasBase {
 
   [[nodiscard]] std::pair<int, sim::Lva> owner_of(Gva block) const override;
 
+  // mcheck invariant audits (see docs/MODEL_CHECKING.md). This manager's
+  // contract is "a cached translation is never stale", so every cache
+  // entry anywhere must match its home directory entry exactly.
+  [[nodiscard]] std::string audit_translation() const override;
+  [[nodiscard]] std::string audit_quiescent() const override;
+
   // Introspection for tests/benches.
   [[nodiscard]] const TranslationCache& cache(int node) const {
     return nodes_.at(static_cast<std::size_t>(node)).cache;

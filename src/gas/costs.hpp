@@ -21,6 +21,13 @@ struct GasCosts {
   sim::Time alloc_block_ns = 120;     // per-block local heap allocation
 
   std::size_t sw_cache_capacity = 4096;  // entries per node
+
+  // Test-only protocol fault injection (mcheck self-validation; see
+  // docs/MODEL_CHECKING.md). When set, the SW-AGAS home "forgets" the
+  // highest-ranked sharer during a migration's INV fan-out: that sharer
+  // is neither invalidated nor awaited, so its cached translation
+  // survives the move stale. Never enabled outside mcheck tests.
+  bool fault_sw_skip_one_sharer_inv = false;
 };
 
 }  // namespace nvgas::gas

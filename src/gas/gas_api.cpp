@@ -1,6 +1,21 @@
 #include "gas/gas_api.hpp"
 
+#include "gas/invariants.hpp"
+
 namespace nvgas::gas {
+
+net::OnDone GasBase::instrument_signal(net::OnDone remote_notify) const {
+  // Null callbacks stay null: wrapping one would make the endpoint treat
+  // the put as carrying a remote notification, changing simulated
+  // behavior. Observation must be passive.
+  if (observer_ == nullptr || !remote_notify) return remote_notify;
+  const std::uint64_t token = observer_->expect_signal();
+  return [obs = observer_, token,
+          inner = std::move(remote_notify)](sim::Time t) {
+    obs->on_signal(token, t);
+    if (inner) inner(t);
+  };
+}
 
 Gva GasBase::alloc(sim::TaskCtx& task, int node, Dist dist,
                    std::uint32_t nblocks, std::uint32_t block_size) {
@@ -35,6 +50,7 @@ void GasBase::free_alloc(sim::TaskCtx& task, int node, Gva base) {
     const Gva block = Gva::make(meta.dist, meta.creator, meta.id, b, 0);
     const auto [owner, lva] = drop_block_state(block);
     heap_->store(owner).release(lva, meta.block_size);
+    if (observer_ != nullptr) observer_->on_free(block.block_key());
   }
   heap_->release_meta(meta.id);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,8 @@ enum class GasMode : std::uint8_t { kPgas = 0, kAgasSw = 1, kAgasNet = 2 };
 
 // Owner resolution result delivered to `OnOwner`.
 using OnOwner = std::function<void(sim::Time, int owner)>;
+
+class InvariantObserver;  // gas/invariants.hpp
 
 class GasBase {
  public:
@@ -95,6 +98,23 @@ class GasBase {
   // --- introspection (host-side, for tests/benches; charges nothing) ------
   [[nodiscard]] virtual std::pair<int, sim::Lva> owner_of(Gva block) const = 0;
 
+  // --- protocol invariant observation (mcheck + tests) ---------------------
+  // Attach a gas::InvariantObserver: the manager reports protocol events
+  // (remote-op begin/end, fence completion, migration commit, notify
+  // signals) through it and never reads it back. Null detaches. The
+  // observer must outlive every reported event or detach first.
+  void set_observer(InvariantObserver* observer) { observer_ = observer; }
+  [[nodiscard]] InvariantObserver* observer() const { return observer_; }
+
+  // Pull-based structure audits (see docs/MODEL_CHECKING.md). Both return
+  // "" when the check passes, else a description of the first violation.
+  // audit_translation: every cached translation anywhere agrees with the
+  // authoritative record for its block (callable at any quiescent event
+  // boundary, including mid-scenario). audit_quiescent: no protocol
+  // state is left in flight (end of run only).
+  [[nodiscard]] virtual std::string audit_translation() const { return {}; }
+  [[nodiscard]] virtual std::string audit_quiescent() const { return {}; }
+
   [[nodiscard]] GlobalHeap& heap() { return *heap_; }
   [[nodiscard]] const GasCosts& costs() const { return costs_; }
 
@@ -102,6 +122,10 @@ class GasBase {
   [[nodiscard]] sim::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] net::Endpoint& ep(int node) { return endpoints_->at(node); }
   [[nodiscard]] int ranks() const { return fabric_->nodes(); }
+
+  // Wrap a memput_notify remote-notification callback in the observer's
+  // exactly-once signal ledger; identity when no observer is attached.
+  [[nodiscard]] net::OnDone instrument_signal(net::OnDone remote_notify) const;
 
   // free_alloc hook: drop one block's translation state and return its
   // current {owner, lva} so the base can release the backing store. The
@@ -120,6 +144,7 @@ class GasBase {
   net::EndpointGroup* endpoints_;
   GlobalHeap* heap_;
   GasCosts costs_;
+  InvariantObserver* observer_ = nullptr;
 };
 
 }  // namespace nvgas::gas

@@ -1,0 +1,279 @@
+#include "gas/invariants.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "gas/gas_api.hpp"
+#include "util/format.hpp"
+
+namespace nvgas::gas {
+namespace {
+
+const char* kind_name(HistOp::Kind k) {
+  switch (k) {
+    case HistOp::Kind::kPut: return "put";
+    case HistOp::Kind::kGet: return "get";
+    case HistOp::Kind::kFadd: return "fadd";
+  }
+  return "?";
+}
+
+std::string describe(const std::vector<HistOp>& h) {
+  std::string out;
+  for (const HistOp& op : h) {
+    out += util::format(" P%d:%s w%llu", op.proc, kind_name(op.kind),
+                        static_cast<unsigned long long>(op.word));
+    if (op.kind == HistOp::Kind::kPut) {
+      out += util::format("=%llu", static_cast<unsigned long long>(op.value));
+    } else if (op.kind == HistOp::Kind::kGet) {
+      out += util::format("->%llu", static_cast<unsigned long long>(op.result));
+    } else {
+      out += util::format("+%llu->%llu",
+                          static_cast<unsigned long long>(op.value),
+                          static_cast<unsigned long long>(op.result));
+    }
+    out += util::format("[%llu,%llu]",
+                        static_cast<unsigned long long>(op.invoke),
+                        static_cast<unsigned long long>(op.complete));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string check_linearizable(const std::vector<HistOp>& history) {
+  const std::size_t n = history.size();
+  if (n == 0 || n > 26) return {};
+
+  // Memory state restricted to the words the history touches, kept in a
+  // sorted vector so state hashing is deterministic.
+  std::vector<std::uint64_t> words;
+  for (const HistOp& op : history) words.push_back(op.word);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  std::vector<std::uint64_t> mem(words.size(), 0);  // all-zero initial state
+  auto slot = [&words](std::uint64_t w) {
+    return static_cast<std::size_t>(
+        std::lower_bound(words.begin(), words.end(), w) - words.begin());
+  };
+
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  // Memoized frontiers: (chosen mask, memory state) pairs already proven
+  // dead ends. The memo is EXACT, not hashed: a hash collision here would
+  // prune a live state and report a linearizable history as a violation.
+  std::set<std::pair<std::uint32_t, std::vector<std::uint64_t>>> seen;
+
+  // Wing–Gong DFS: pick a minimal op (no unchosen op completed before its
+  // invocation), check it is legal on the current memory, recurse.
+  auto dfs = [&](auto&& self, std::uint32_t mask) -> bool {
+    if (mask == full) return true;
+    if (!seen.emplace(mask, mem).second) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) continue;
+      const HistOp& op = history[i];
+      bool minimal = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || ((mask >> j) & 1u)) continue;
+        if (history[j].complete < op.invoke) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+      const std::size_t s = slot(op.word);
+      const std::uint64_t old = mem[s];
+      bool legal = true;
+      switch (op.kind) {
+        case HistOp::Kind::kPut:
+          mem[s] = op.value;
+          break;
+        case HistOp::Kind::kGet:
+          legal = (old == op.result);
+          break;
+        case HistOp::Kind::kFadd:
+          legal = (old == op.result);
+          if (legal) mem[s] = old + op.value;
+          break;
+      }
+      if (legal && self(self, mask | (1u << i))) return true;
+      mem[s] = old;
+    }
+    return false;
+  };
+
+  if (dfs(dfs, 0)) return {};
+  return util::format(
+             "history of %zu ops is not linearizable (no legal total order "
+             "respects real time):",
+             n) +
+         describe(history);
+}
+
+InvariantObserver::~InvariantObserver() {
+  if (gas_ != nullptr) gas_->set_observer(nullptr);
+}
+
+void InvariantObserver::attach(GasBase& gas) {
+  gas_ = &gas;
+  gas.set_observer(this);
+}
+
+void InvariantObserver::fail(const std::string& message) {
+  ++violations_;
+  if (violation_.empty()) violation_ = message;
+}
+
+void InvariantObserver::on_remote_op_begin(int node, std::uint64_t block_key) {
+  ++checks_;
+  KeyState& ks = keys_[block_key];
+  if (ks.fenced) {
+    fail(util::format("remote op from node %d began on block %llx between "
+                      "fence completion and migration commit",
+                      node, static_cast<unsigned long long>(block_key)));
+  }
+  ++ks.inflight_total;
+  ++ks.inflight_by_node[node];
+}
+
+void InvariantObserver::on_remote_op_end(int node, std::uint64_t block_key) {
+  ++checks_;
+  KeyState& ks = keys_[block_key];
+  std::uint64_t& per_node = ks.inflight_by_node[node];
+  if (per_node == 0 || ks.inflight_total == 0) {
+    fail(util::format("remote op from node %d on block %llx completed with "
+                      "no matching begin",
+                      node, static_cast<unsigned long long>(block_key)));
+    return;
+  }
+  --per_node;
+  --ks.inflight_total;
+}
+
+void InvariantObserver::on_migration_start(std::uint64_t block_key) {
+  ++checks_;
+  KeyState& ks = keys_[block_key];
+  if (ks.moving) {
+    fail(util::format("migration started on block %llx while another "
+                      "migration of it is still in flight",
+                      static_cast<unsigned long long>(block_key)));
+  }
+  ks.moving = true;
+}
+
+void InvariantObserver::on_fence_complete(std::uint64_t block_key) {
+  ++checks_;
+  KeyState& ks = keys_[block_key];
+  if (!ks.moving) {
+    fail(util::format("fence completed on block %llx with no migration "
+                      "in flight",
+                      static_cast<unsigned long long>(block_key)));
+  }
+  if (ks.inflight_total != 0) {
+    fail(util::format("fence completed on block %llx with %llu remote ops "
+                      "still in flight (writes can land mid-move)",
+                      static_cast<unsigned long long>(block_key),
+                      static_cast<unsigned long long>(ks.inflight_total)));
+  }
+  ks.fenced = true;
+}
+
+void InvariantObserver::on_migration_commit(std::uint64_t block_key,
+                                            int new_owner,
+                                            std::uint32_t new_generation) {
+  ++checks_;
+  KeyState& ks = keys_[block_key];
+  if (!ks.moving) {
+    fail(util::format("migration of block %llx committed without a start",
+                      static_cast<unsigned long long>(block_key)));
+  }
+  if (new_generation != ks.generation + 1) {
+    fail(util::format("block %llx generation not monotonic: commit to node "
+                      "%d produced generation %u after %u",
+                      static_cast<unsigned long long>(block_key), new_owner,
+                      new_generation, ks.generation));
+  }
+  ks.generation = new_generation;
+  ks.moving = false;
+  ks.fenced = false;
+  audit_structures();
+}
+
+void InvariantObserver::on_free(std::uint64_t block_key) {
+  keys_.erase(block_key);
+}
+
+std::uint64_t InvariantObserver::expect_signal() {
+  fired_.push_back(0);
+  return fired_.size() - 1;
+}
+
+void InvariantObserver::on_signal(std::uint64_t token, sim::Time t) {
+  (void)t;
+  ++checks_;
+  if (token >= fired_.size()) {
+    fail("memput_notify signal fired with an unregistered token");
+    return;
+  }
+  if (++fired_[token] > 1) {
+    fail(util::format("memput_notify signal %llu delivered more than once",
+                      static_cast<unsigned long long>(token)));
+  }
+}
+
+void InvariantObserver::audit_structures() {
+  if (gas_ == nullptr) return;
+  ++checks_;
+  const std::string err = gas_->audit_translation();
+  if (!err.empty()) fail(err);
+}
+
+std::string InvariantObserver::check_quiescent(const sim::Counters& counters) {
+  ++checks_;
+  if (counters.messages_sent != counters.messages_delivered) {
+    fail(util::format("message conservation violated: %llu sent, %llu "
+                      "delivered",
+                      static_cast<unsigned long long>(counters.messages_sent),
+                      static_cast<unsigned long long>(
+                          counters.messages_delivered)));
+  }
+  ++checks_;
+  if (counters.bytes_sent != counters.bytes_delivered) {
+    fail(util::format("byte conservation violated: %llu sent, %llu delivered",
+                      static_cast<unsigned long long>(counters.bytes_sent),
+                      static_cast<unsigned long long>(
+                          counters.bytes_delivered)));
+  }
+  for (std::size_t i = 0; i < fired_.size(); ++i) {
+    ++checks_;
+    if (fired_[i] == 0) {
+      fail(util::format("memput_notify signal %zu never delivered", i));
+    }
+  }
+  for (const auto& [key, ks] : keys_) {
+    ++checks_;
+    if (ks.moving) {
+      fail(util::format("migration of block %llx never committed",
+                        static_cast<unsigned long long>(key)));
+    }
+    if (ks.inflight_total != 0) {
+      fail(util::format("%llu remote ops on block %llx never completed",
+                        static_cast<unsigned long long>(ks.inflight_total),
+                        static_cast<unsigned long long>(key)));
+    }
+  }
+  audit_structures();
+  if (gas_ != nullptr) {
+    ++checks_;
+    const std::string err = gas_->audit_quiescent();
+    if (!err.empty()) fail(err);
+  }
+  if (!history_.empty()) {
+    ++checks_;
+    const std::string err = check_linearizable(history_);
+    if (!err.empty()) fail(err);
+  }
+  return violation_;
+}
+
+}  // namespace nvgas::gas

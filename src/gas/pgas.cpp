@@ -34,7 +34,7 @@ void Pgas::memput_notify(sim::TaskCtx& task, int node, Gva dst,
                          std::vector<std::byte> data, net::OnDone done,
                          net::OnDone remote_notify) {
   do_memput(task, node, dst, std::move(data), std::move(done),
-            std::move(remote_notify));
+            instrument_signal(std::move(remote_notify)));
 }
 
 void Pgas::memget(sim::TaskCtx& task, int node, Gva src, std::size_t len,

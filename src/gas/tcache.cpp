@@ -54,6 +54,21 @@ void TranslationCache::insert(std::uint64_t block_key, const CacheEntry& entry) 
   ++size_;
 }
 
+const CacheEntry* TranslationCache::peek(std::uint64_t block_key) const {
+  const std::uint32_t i = find(block_key);
+  return i == kNotFound ? nullptr : &slots_[i].entry;
+}
+
+std::vector<std::pair<std::uint64_t, CacheEntry>> TranslationCache::entries()
+    const {
+  std::vector<std::pair<std::uint64_t, CacheEntry>> out;
+  out.reserve(size_);
+  for (const Slot& s : slots_) {
+    if (s.full) out.emplace_back(s.key, s.entry);
+  }
+  return out;
+}
+
 bool TranslationCache::invalidate(std::uint64_t block_key) {
   const std::uint32_t i = find(block_key);
   if (i == kNotFound) return false;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/memory.hpp"
@@ -37,6 +38,15 @@ class TranslationCache {
   // Invalidate one block; returns true if it was present.
   bool invalidate(std::uint64_t block_key);
   void clear();
+
+  // Read-only probe for invariant audits: no hit/miss accounting and no
+  // CLOCK reference-bit update, so audits never perturb eviction.
+  [[nodiscard]] const CacheEntry* peek(std::uint64_t block_key) const;
+
+  // Deterministic (slot-index order) snapshot of resident entries, for
+  // the mcheck invariant audits.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, CacheEntry>> entries()
+      const;
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

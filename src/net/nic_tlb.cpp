@@ -1,5 +1,7 @@
 #include "net/nic_tlb.hpp"
 
+#include <algorithm>
+
 namespace nvgas::net {
 
 bool NicTlb::insert(std::uint64_t block, const TlbEntry& entry) {
@@ -10,10 +12,12 @@ bool NicTlb::insert(std::uint64_t block, const TlbEntry& entry) {
     const bool was_pinned = slot.entry.pinned;
     if (was_pinned && !entry.pinned) {
       --pinned_count_;
+      unpin_key(block);
       lru_.push_front(block);
       slot.lru_pos = lru_.begin();
     } else if (!was_pinned && entry.pinned) {
       ++pinned_count_;
+      pinned_keys_.push_back(block);
       lru_.erase(slot.lru_pos);
     } else if (!entry.pinned) {
       lru_.splice(lru_.begin(), lru_, slot.lru_pos);
@@ -29,6 +33,7 @@ bool NicTlb::insert(std::uint64_t block, const TlbEntry& entry) {
   slot.entry = entry;
   if (entry.pinned) {
     ++pinned_count_;
+    pinned_keys_.push_back(block);
   } else {
     lru_.push_front(block);
     slot.lru_pos = lru_.begin();
@@ -62,10 +67,33 @@ void NicTlb::erase(std::uint64_t block) {
   if (it == map_.end()) return;
   if (it->second.entry.pinned) {
     --pinned_count_;
+    unpin_key(block);
   } else {
     lru_.erase(it->second.lru_pos);
   }
   map_.erase(it);
+}
+
+const TlbEntry* NicTlb::peek(std::uint64_t block) const {
+  auto it = map_.find(block);
+  return it == map_.end() ? nullptr : &it->second.entry;
+}
+
+std::vector<std::pair<std::uint64_t, TlbEntry>> NicTlb::entries() const {
+  std::vector<std::pair<std::uint64_t, TlbEntry>> out;
+  out.reserve(map_.size());
+  for (const std::uint64_t key : pinned_keys_) {
+    out.emplace_back(key, map_.find(key)->second.entry);
+  }
+  for (const std::uint64_t key : lru_) {
+    out.emplace_back(key, map_.find(key)->second.entry);
+  }
+  return out;
+}
+
+void NicTlb::unpin_key(std::uint64_t block) {
+  auto it = std::find(pinned_keys_.begin(), pinned_keys_.end(), block);
+  if (it != pinned_keys_.end()) pinned_keys_.erase(it);
 }
 
 void NicTlb::evict_one() {

@@ -16,6 +16,8 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/memory.hpp"
 #include "util/assert.hpp"
@@ -52,6 +54,16 @@ class NicTlb {
 
   void erase(std::uint64_t block);
 
+  // Read-only probe: no LRU refresh and no hit/miss accounting, so
+  // invariant audits never perturb eviction or counters.
+  [[nodiscard]] const TlbEntry* peek(std::uint64_t block) const;
+
+  // Deterministic snapshot for the mcheck invariant audits: pinned
+  // entries in pin order, then cached entries most-recent-first. Both
+  // orders are simulation state, never hash order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, TlbEntry>> entries()
+      const;
+
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
@@ -65,11 +77,15 @@ class NicTlb {
   };
 
   void evict_one();
+  void unpin_key(std::uint64_t block);
 
   std::size_t capacity_;
   // simlint:allow(D1: keyed find/erase; eviction order comes from lru_, not the map)
   std::unordered_map<std::uint64_t, Slot> map_;
   std::list<std::uint64_t> lru_;  // front = most recent
+  // Pinned keys in pin order; mirrors the pinned entries in map_ so
+  // entries() can snapshot them deterministically.
+  std::vector<std::uint64_t> pinned_keys_;
   std::size_t pinned_count_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -250,6 +250,19 @@ void Engine::execute(std::int32_t idx) {
   if (now_ > window_start_) window_start_ = now_;
   const Time t = n.at;
   const std::uint64_t seq = n.seq;
+  // Pinned tie-break contract: execution order is the strict total order
+  // (time, seq) — co-timed events run in scheduling order. mcheck's
+  // schedule replay (sim/explorer.hpp) reconstructs delivery orders from
+  // this guarantee, so it is asserted in every build type, not just
+  // debug. Cancelled events consume a seq but never execute, preserving
+  // strict monotonicity here.
+  NVGAS_CHECK_MSG(
+      !executed_any_ || t > last_exec_at_ ||
+          (t == last_exec_at_ && seq > last_exec_seq_),
+      "event execution violated the pinned (time, seq) total order");
+  last_exec_at_ = t;
+  last_exec_seq_ = seq;
+  executed_any_ = true;
   Callback fn = std::move(n.fn);
   // Recycle before invoking: the callback may schedule events and grow
   // the pool, invalidating the reference.

@@ -5,6 +5,13 @@
 // trace. The engine also folds every executed (time, seq) pair into a
 // running FNV-1a hash, which tests use to assert determinism end-to-end.
 //
+// The same-timestamp tie-break is a PINNED, asserted contract: co-timed
+// events execute in ascending seq — i.e. scheduling — order, making the
+// execution order a strict total order over (time, seq). Engine::execute
+// checks this on every event in all build types. mcheck (tools/mcheck)
+// replays counterexample schedules from a schedule string alone and
+// depends on this order never changing; see docs/MODEL_CHECKING.md.
+//
 // Implementation: a calendar-queue / timing-wheel hybrid tuned for
 // zero-allocation steady state (see DESIGN.md §3 and
 // sim/reference_engine.hpp for the original binary-heap oracle):
@@ -197,6 +204,12 @@ class Engine {
 
   // Far-future overflow (at >= window_start_ + slots_ at insert time).
   std::priority_queue<FarRef, std::vector<FarRef>, FarLater> far_;
+
+  // Tie-break audit state: the last executed (time, seq) pair, used to
+  // assert the pinned total order in execute().
+  Time last_exec_at_ = 0;
+  std::uint64_t last_exec_seq_ = 0;
+  bool executed_any_ = false;
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,148 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace nvgas::sim {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Schedule::set(std::uint64_t index, std::uint8_t choice) {
+  auto it = std::lower_bound(
+      delays.begin(), delays.end(), index,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  if (it != delays.end() && it->first == index) {
+    it->second = choice;
+    return;
+  }
+  delays.insert(it, {index, choice});
+}
+
+std::uint8_t Schedule::choice(std::uint64_t index) const {
+  auto it = std::lower_bound(
+      delays.begin(), delays.end(), index,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  if (it != delays.end() && it->first == index) return it->second;
+  return 0;
+}
+
+std::string Schedule::str() const {
+  if (delays.empty()) return "-";
+  std::string out;
+  for (const auto& [index, choice] : delays) {
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(index);
+    out.push_back(':');
+    out += std::to_string(static_cast<int>(choice));
+  }
+  return out;
+}
+
+bool Schedule::parse(std::string_view text, Schedule* out) {
+  Schedule parsed;
+  if (text == "-" || text.empty()) {
+    *out = std::move(parsed);
+    return true;
+  }
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view item =
+        text.substr(pos, comma == std::string_view::npos ? comma : comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) return false;
+    std::uint64_t index = 0;
+    unsigned choice = 0;
+    const auto* ib = item.data();
+    const auto ir = std::from_chars(ib, ib + colon, index);
+    if (ir.ec != std::errc{} || ir.ptr != ib + colon) return false;
+    const auto* cb = item.data() + colon + 1;
+    const auto* ce = item.data() + item.size();
+    const auto cr = std::from_chars(cb, ce, choice);
+    if (cr.ec != std::errc{} || cr.ptr != ce) return false;
+    if (choice == 0 || choice > Explorer::kChoices) return false;
+    parsed.set(index, static_cast<std::uint8_t>(choice));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+Explorer::Explorer(Time window_ns) : window_(window_ns) {}
+
+Time Explorer::quantum(int choice) const {
+  switch (choice) {
+    case 1:
+      return 1;
+    case 2:
+      return window_;
+    case 3:
+      return 4 * window_;
+    default:
+      return 0;
+  }
+}
+
+Time Explorer::on_injection(int src, int dst, Time base_arrival,
+                            std::uint64_t* index_out) {
+  const std::uint64_t index = log_.size();
+  Time when = base_arrival + quantum(schedule_.choice(index));
+  Time& floor = pair_floor_[pair_key(src, dst)];
+  if (when < floor) when = floor;  // preserve point-to-point FIFO
+  floor = when;
+  log_.push_back({src, dst, when});
+  if (index_out != nullptr) *index_out = index;
+  return when;
+}
+
+void Explorer::on_delivery(int dst, std::uint64_t index) {
+  ++deliveries_;
+  order_hash_ = fnv_step(order_hash_, static_cast<std::uint64_t>(dst));
+  order_hash_ = fnv_step(order_hash_, index);
+}
+
+std::vector<std::uint64_t> Explorer::commutative_points() const {
+  // Sort (dst, arrival) with the injection index attached, then mark any
+  // injection whose same-destination neighbour lands within the window.
+  struct Item {
+    int dst;
+    Time arrival;
+    std::uint64_t index;
+  };
+  std::vector<Item> items;
+  items.reserve(log_.size());
+  for (std::uint64_t i = 0; i < log_.size(); ++i) {
+    items.push_back({log_[i].dst, log_[i].arrival, i});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.index < b.index;
+  });
+  std::vector<std::uint64_t> points;
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    const Item& a = items[i];
+    const Item& b = items[i + 1];
+    if (a.dst == b.dst && b.arrival - a.arrival <= window_) {
+      points.push_back(a.index);
+      points.push_back(b.index);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+}  // namespace nvgas::sim

@@ -1,0 +1,123 @@
+// Schedule exploration hook for the mcheck model checker.
+//
+// The deterministic engine executes exactly ONE delivery order per
+// program — the order message-latency arithmetic happens to produce.
+// Protocol bugs (stale-translation windows, fence races) hide in the
+// orders it never produces. The Explorer re-introduces those orders
+// deterministically: it sits on the one message-injection point
+// (Nic::send) and, driven by a Schedule, delays selected messages by a
+// small quantum so that co-timed ("commutative") deliveries commute.
+//
+// Two properties make replays sound:
+//   * point-to-point FIFO is preserved — a perturbed arrival is clamped
+//     to the (src, dst) pair's previous arrival time, matching the
+//     per-queue-pair ordering of the RDMA hardware being modelled, so
+//     explored schedules are exactly the ones a real network can
+//     produce;
+//   * a Schedule is a pure function of the injection index (messages
+//     are indexed in injection order, which the engine's pinned
+//     (time, seq) tie-break makes reproducible), so a schedule string
+//     alone replays a counterexample bit-for-bit.
+//
+// The Explorer also folds every delivery (dst node, injection index)
+// into an FNV-1a order hash: two runs with the same hash delivered
+// messages in the same interleaving, which mcheck uses both as its
+// state-hash pruning and as the count of distinct schedules explored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nvgas::sim {
+
+// A delay schedule: injection index -> delay choice. Choice 0 (the
+// implicit default for every unlisted index) is "no perturbation";
+// choices 1..kChoices select increasing delay quanta (Explorer::quantum).
+// The textual form — "idx:choice,idx:choice" sorted by index, or "-"
+// when empty — is the replayable counterexample string mcheck prints.
+struct Schedule {
+  // Sorted by injection index; at most one entry per index.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> delays;
+
+  void set(std::uint64_t index, std::uint8_t choice);
+  [[nodiscard]] std::uint8_t choice(std::uint64_t index) const;
+  [[nodiscard]] bool empty() const { return delays.empty(); }
+  [[nodiscard]] std::size_t size() const { return delays.size(); }
+
+  [[nodiscard]] std::string str() const;
+  // Parses the str() form ("-" or "i:c,j:c"). Returns false on malformed
+  // input; `out` is untouched on failure.
+  static bool parse(std::string_view text, Schedule* out);
+};
+
+class Explorer {
+ public:
+  // Delay choices per perturbed injection (beyond choice 0 = none).
+  static constexpr int kChoices = 3;
+
+  // `window_ns` is the commutativity window: two same-destination
+  // arrivals closer than this are considered reorderable choice points.
+  // The default spans one wire latency plus NIC serialization slack.
+  explicit Explorer(Time window_ns = 1500);
+
+  void arm(Schedule schedule) { schedule_ = std::move(schedule); }
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+  [[nodiscard]] Time window() const { return window_; }
+
+  // Hook called by Nic::send for every injected message: assigns the
+  // message its injection index and returns the (possibly perturbed)
+  // arrival time at the destination rx port, >= base_arrival and never
+  // ahead of an earlier message on the same (src, dst) pair.
+  Time on_injection(int src, int dst, Time base_arrival,
+                    std::uint64_t* index_out);
+
+  // Hook called by Nic::deliver_parked when a message's closure runs:
+  // folds (dst, injection index) into the delivery-order hash.
+  void on_delivery(int dst, std::uint64_t index);
+
+  [[nodiscard]] std::uint64_t injections() const { return log_.size(); }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t order_hash() const { return order_hash_; }
+
+  // Delay quantum for a choice (0 -> 0 ns). The three nonzero quanta are
+  // a 1 ns nudge (flips co-timed ties), one window (reorders across the
+  // commutativity window), and four windows (pushes past a protocol
+  // phase).
+  [[nodiscard]] Time quantum(int choice) const;
+
+  // Injection indices that had at least one other same-destination
+  // injection arriving within the commutativity window — the points
+  // where delaying this message can change the delivery order. Computed
+  // from this run's log; mcheck calls it on the baseline run to obtain
+  // the DFS choice points.
+  [[nodiscard]] std::vector<std::uint64_t> commutative_points() const;
+
+ private:
+  struct Injection {
+    int src;
+    int dst;
+    Time arrival;  // perturbed arrival time at the dst rx port
+  };
+
+  [[nodiscard]] static std::uint64_t pair_key(int src, int dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  Time window_;
+  Schedule schedule_;
+  std::vector<Injection> log_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t order_hash_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  // Per-(src, dst) arrival floor enforcing point-to-point FIFO.
+  // simlint:allow(D1: keyed access only, never iterated)
+  std::unordered_map<std::uint64_t, Time> pair_floor_;
+};
+
+}  // namespace nvgas::sim

@@ -19,11 +19,20 @@
 
 namespace nvgas::sim {
 
+class Explorer;  // sim/explorer.hpp — mcheck schedule-exploration hook
+
 class Fabric {
  public:
   explicit Fabric(const MachineParams& params);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  // mcheck schedule exploration: when set, every Nic::send routes its
+  // arrival time through the Explorer (which may delay it) and every
+  // delivery is folded into the Explorer's order hash. Null in normal
+  // runs; the Explorer is owned by the mcheck harness, not the Fabric.
+  void set_explorer(Explorer* explorer) { explorer_ = explorer; }
+  [[nodiscard]] Explorer* explorer() const { return explorer_; }
 
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const MachineParams& params() const { return params_; }
@@ -60,6 +69,7 @@ class Fabric {
   };
 
   MachineParams params_;
+  Explorer* explorer_ = nullptr;
   Topology topology_;
   Engine engine_;
   Counters counters_;

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "sim/explorer.hpp"
 #include "sim/fabric.hpp"
 #include "sim/trace.hpp"
 
 namespace nvgas::sim {
 
 std::int32_t Nic::park_msg(Time when, int src, std::uint64_t bytes,
-                           Deliver deliver) {
+                           Deliver deliver, std::uint64_t inj) {
   std::int32_t idx;
   if (inflight_free_ >= 0) {
     idx = inflight_free_;
@@ -26,6 +27,7 @@ std::int32_t Nic::park_msg(Time when, int src, std::uint64_t bytes,
   m.src = src;
   m.bytes = bytes;
   m.deliver = std::move(deliver);
+  m.inj = inj;
 #ifdef NVGAS_SIMSAN
   m.parked = true;
 #endif
@@ -39,7 +41,15 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
 
   // tx port serialization.
   tx_avail_ = std::max(depart, tx_avail_) + p.wire_time(bytes);
-  const Time at_dst_port = tx_avail_ + fabric_->latency(node_, dst);
+  Time at_dst_port = tx_avail_ + fabric_->latency(node_, dst);
+
+  // mcheck hook: an armed Explorer may delay the arrival (bounded, FIFO
+  // preserving) to explore alternative delivery schedules. This is the
+  // ONLY sanctioned injection point — simlint rule D6 flags bypasses.
+  std::uint64_t inj = kNoInjection;
+  if (Explorer* ex = fabric_->explorer()) {
+    at_dst_port = ex->on_injection(node_, dst, at_dst_port, &inj);
+  }
 
   ++tx_messages_;
   tx_bytes_ += bytes;
@@ -51,7 +61,7 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
 
   Nic& dst_nic = fabric_->nic(dst);
   const std::int32_t idx =
-      dst_nic.park_msg(at_dst_port, node_, bytes, std::move(deliver));
+      dst_nic.park_msg(at_dst_port, node_, bytes, std::move(deliver), inj);
   // simlint:allow(D5: &dst_nic lives in the Fabric, which outlives the engine)
   engine.at(at_dst_port, [&dst_nic, idx] { dst_nic.arrive(idx); });
 }
@@ -88,11 +98,13 @@ void Nic::deliver_parked(std::int32_t idx) {
 #endif
   Deliver fn = std::move(m.deliver);
   const Time done = m.when;
+  const std::uint64_t inj = m.inj;
 #ifdef NVGAS_SIMSAN
   m.deliver.poison();  // a stale delivery would invoke a poisoned closure
 #endif
   m.next_free = inflight_free_;
   inflight_free_ = idx;
+  if (Explorer* ex = fabric_->explorer()) ex->on_delivery(node_, inj);
   fn(done);
 }
 

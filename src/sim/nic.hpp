@@ -45,6 +45,9 @@ class Nic {
   // completion time. Used by NIC-level op handlers.
   Time occupy_command_processor(Time ready, Time cost);
 
+  // Sentinel injection index for messages sent with no Explorer armed.
+  static constexpr std::uint64_t kNoInjection = ~std::uint64_t{0};
+
   [[nodiscard]] int node() const { return node_; }
   [[nodiscard]] std::uint64_t tx_messages() const { return tx_messages_; }
   [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
@@ -62,13 +65,15 @@ class Nic {
     int src = -1;
     Deliver deliver;
     std::int32_t next_free = -1;
+    // Explorer injection index (kNoInjection when no explorer is armed).
+    std::uint64_t inj = kNoInjection;
 #ifdef NVGAS_SIMSAN
     bool parked = false;  // occupancy audit: delivery of a free slot aborts
 #endif
   };
 
   std::int32_t park_msg(Time when, int src, std::uint64_t bytes,
-                        Deliver deliver);
+                        Deliver deliver, std::uint64_t inj);
   // Called on the destination NIC when the message hits its rx port.
   void arrive(std::int32_t idx);
   void deliver_parked(std::int32_t idx);

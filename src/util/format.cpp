@@ -1,0 +1,24 @@
+#include "util/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace nvgas::util {
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list probe;
+  va_copy(probe, args);
+  const int len = std::vsnprintf(nullptr, 0, fmt, probe);
+  va_end(probe);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<std::size_t>(len));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace nvgas::util

@@ -1,0 +1,12 @@
+// printf-style formatting into a std::string, for diagnostics that end
+// up in violation reports and tables rather than on a hot path.
+#pragma once
+
+#include <string>
+
+namespace nvgas::util {
+
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace nvgas::util

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/nvgas.hpp"
+#include "gas/invariants.hpp"
 
 namespace nvgas {
 namespace {
@@ -34,6 +35,7 @@ TEST_P(GasFuzzTest, SerializedOpsMatchReferenceModel) {
   cfg.gas_costs.sw_cache_capacity = 8;
   cfg.agas_net.tlb_capacity = 16;
   World world(cfg);
+  gas::InvariantObserver obs(world.gas());
   const bool mobile = GetParam().mode != GasMode::kPgas;
 
   constexpr std::uint32_t kBlocks = 16;
@@ -83,6 +85,7 @@ TEST_P(GasFuzzTest, SerializedOpsMatchReferenceModel) {
     finished = true;
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_TRUE(finished);
 }
 
@@ -94,6 +97,7 @@ TEST_P(GasFuzzTest, ConcurrentDisjointRegionsMatchReference) {
   Config cfg = Config::with_nodes(8, GetParam().mode);
   cfg.machine.mem_bytes_per_node = 8u << 20;
   World world(cfg);
+  gas::InvariantObserver obs(world.gas());
   const bool mobile = GetParam().mode != GasMode::kPgas;
   const int P = world.ranks();
 
@@ -145,6 +149,7 @@ TEST_P(GasFuzzTest, ConcurrentDisjointRegionsMatchReference) {
     co_await gate;
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(done_ranks, P);
 }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/nvgas.hpp"
+#include "gas/invariants.hpp"
 
 namespace nvgas {
 namespace {
@@ -21,6 +22,7 @@ std::string mode_name(const ::testing::TestParamInfo<GasMode>& info) {
 
 TEST_P(MigrationTest, DataSurvivesMigration) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 4, 4096);
     std::vector<std::byte> payload(4096);
@@ -34,10 +36,12 @@ TEST_P(MigrationTest, DataSurvivesMigration) {
     EXPECT_EQ(back, payload);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, AddressUnchangedAfterMigration) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 256);
     co_await memput_value<std::uint64_t>(ctx, base, 42);
@@ -48,10 +52,12 @@ TEST_P(MigrationTest, AddressUnchangedAfterMigration) {
     EXPECT_EQ(v, 42u);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, WritesAfterMigrationLandAtNewOwner) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 256);
     co_await migrate(ctx, base, 6);
@@ -61,10 +67,12 @@ TEST_P(MigrationTest, WritesAfterMigrationLandAtNewOwner) {
     EXPECT_EQ(world.fabric().mem(6).load<std::uint64_t>(lva), 99u);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, MigrateToCurrentOwnerIsANoop) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 256);
     const int home = base.home(ctx.ranks());
@@ -75,11 +83,13 @@ TEST_P(MigrationTest, MigrateToCurrentOwnerIsANoop) {
     EXPECT_EQ(v, 17u);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(world.counters().migrations, 0u);
 }
 
 TEST_P(MigrationTest, ChainedMigrationsVisitEveryRank) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 1024);
     co_await memput_value<std::uint64_t>(ctx, base, 0xbeef);
@@ -92,6 +102,7 @@ TEST_P(MigrationTest, ChainedMigrationsVisitEveryRank) {
     }
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(world.counters().migrations, 8u);
 }
 
@@ -100,6 +111,7 @@ TEST_P(MigrationTest, StaleReadersStillReadCorrectData) {
   // without being told: forwarding (NET) or invalidation+re-resolve (SW)
   // must deliver the fresh location transparently.
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 256);
     co_await memput_value<std::uint64_t>(ctx, base, 1);
@@ -129,12 +141,14 @@ TEST_P(MigrationTest, StaleReadersStillReadCorrectData) {
     EXPECT_EQ(v, 3u);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, ConcurrentWritersDuringMigrationLoseNoAckedWrite) {
   // Writers hammer distinct words of a block while it migrates; every
   // write that was acknowledged must be present afterwards.
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   const int P = world.ranks();
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const std::uint32_t bsize = 4096;
@@ -165,11 +179,13 @@ TEST_P(MigrationTest, ConcurrentWritersDuringMigrationLoseNoAckedWrite) {
     }
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(world.counters().migrations, 2u);
 }
 
 TEST_P(MigrationTest, QueuedMigrationsChainInOrder) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 512);
     rt::AndGate gate(3);
@@ -187,10 +203,12 @@ TEST_P(MigrationTest, QueuedMigrationsChainInOrder) {
     (void)v;  // readable without deadlock
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, MigrationReleasesOldStorage) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 1, 4096);
     const int home = base.home(ctx.ranks());
@@ -200,16 +218,19 @@ TEST_P(MigrationTest, MigrationReleasesOldStorage) {
     EXPECT_EQ(used_after + 4096, used_before);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
 }
 
 TEST_P(MigrationTest, MigrationCountersTrackBytes) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   world.spawn(0, [&](Context& ctx) -> Fiber {
     const Gva base = alloc_cyclic(ctx, 2, 8192);
     co_await migrate(ctx, base, 5);
     co_await migrate(ctx, base.advanced(8192, 8192), 5);
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(world.counters().migrations, 2u);
   EXPECT_EQ(world.counters().migration_bytes, 2u * 8192u);
 }
@@ -217,6 +238,7 @@ TEST_P(MigrationTest, MigrationCountersTrackBytes) {
 TEST_P(MigrationTest, ParcelsFollowMigratedObjects) {
   // apply() routes an action to the object's current owner.
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   int ran_on = -1;
   const auto act = world.runtime().actions().add(
       "test.poke", [&](Context& c, int, util::Buffer) { ran_on = c.rank(); });
@@ -226,6 +248,7 @@ TEST_P(MigrationTest, ParcelsFollowMigratedObjects) {
     co_await apply(ctx, base, act, {});
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(ran_on, 4);
 }
 
@@ -235,6 +258,7 @@ TEST_P(MigrationTest, ApplyFromStaleSenderConvergesOnMovedObject) {
   // have its parcels forwarded to the object's current owner by the apply
   // trampoline.
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   std::vector<int> ran_on;
   const auto act = world.runtime().actions().add(
       "test.stale_poke", [&](Context& c, int, util::Buffer) {
@@ -260,12 +284,14 @@ TEST_P(MigrationTest, ApplyFromStaleSenderConvergesOnMovedObject) {
     co_await sent;
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   ASSERT_EQ(ran_on.size(), 1u);
   EXPECT_EQ(ran_on[0], 6);
 }
 
 TEST_P(MigrationTest, ApplyDuringMigrationStormStillLandsOnce) {
   World world(make_config());
+  gas::InvariantObserver obs(world.gas());
   int executions = 0;
   const auto act = world.runtime().actions().add(
       "test.storm_poke", [&](Context& c, int, util::Buffer) {
@@ -289,6 +315,7 @@ TEST_P(MigrationTest, ApplyDuringMigrationStormStillLandsOnce) {
     co_await applies;
   });
   world.run();
+  EXPECT_EQ(obs.check_quiescent(world.counters()), "");
   EXPECT_EQ(executions, 6);
 }
 

@@ -35,6 +35,37 @@ TEST(Engine, TiesBreakBySubmissionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// Regression pin for the (time, seq) tie-break contract asserted in
+// Engine::execute(): co-timed events run in scheduling order even when
+// some were scheduled beyond the wheel horizon (overflow heap) and some
+// co-timed neighbours are cancelled. mcheck's schedule replay depends on
+// this order being a strict total order.
+TEST(Engine, TieBreakHoldsAcrossWheelAndOverflowHeap) {
+  Engine e(/*horizon_ns=*/1024);  // the minimum wheel size
+  std::vector<int> order;
+  const Time far_time = 5000;  // beyond the wheel horizon: overflow heap
+  e.at(1, [] {});  // anchor the wheel window at t=1 so far_time overflows
+  // Interleave plain, overflow, and cancelled submissions at one timestamp.
+  e.at(far_time, [&] { order.push_back(0); });
+  const auto dead1 = e.at_cancellable(far_time, [&] { order.push_back(-1); });
+  e.at(far_time, [&] { order.push_back(1); });
+  e.at(far_time, [&] { order.push_back(2); });
+  const auto dead2 = e.at_cancellable(far_time, [&] { order.push_back(-2); });
+  e.at(far_time, [&] { order.push_back(3); });
+  EXPECT_GT(e.overflow_pending(), 0u);
+  EXPECT_TRUE(e.cancel(dead1));
+  EXPECT_TRUE(e.cancel(dead2));
+  // Once time advances within horizon range, co-timed wheel events keep
+  // their submission seq relative to the earlier overflow entries.
+  e.at(4500, [&] {
+    e.at(far_time, [&] { order.push_back(4); });
+    e.at(far_time, [&] { order.push_back(5); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(e.now(), far_time);
+}
+
 TEST(Engine, AfterIsRelative) {
   Engine e;
   Time seen = 0;

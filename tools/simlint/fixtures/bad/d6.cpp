@@ -1,0 +1,25 @@
+// simlint fixture: direct NIC-injection calls that bypass the Explorer
+// hook in Nic::send() must fire D6 — a message parked or delivered
+// behind the hook's back is invisible to mcheck's schedule exploration.
+struct FakeNic {
+  int park_msg(unsigned long when, int src, unsigned long bytes);
+  void arrive(int idx);
+  void deliver_parked(int idx);
+};
+
+struct Gate {
+  void arrive(unsigned long t);  // LCO arrive: must NOT fire D6
+};
+
+void bypass_injection(FakeNic& dst_nic, FakeNic* remote_nic, Gate& gate) {
+  const int idx = dst_nic.park_msg(10, 0, 64);  // simlint-expect(D6)
+  dst_nic.arrive(idx);                          // simlint-expect(D6)
+  remote_nic->arrive(idx);                      // simlint-expect(D6)
+  remote_nic->deliver_parked(idx);              // simlint-expect(D6)
+  gate.arrive(10);  // LCO completion, not a NIC delivery: clean
+}
+
+void justified_bypass(FakeNic& dst_nic) {
+  // simlint:allow(D6: NIC unit test constructs its own delivery)
+  dst_nic.arrive(0);
+}

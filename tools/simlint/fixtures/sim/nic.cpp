@@ -1,0 +1,16 @@
+// simlint fixture: sim/nic.{cpp,hpp} are the sanctioned implementation
+// of the injection path — park_msg/arrive/deliver_parked calls here are
+// what D6 protects, so the file-name exemption keeps the rule quiet.
+struct Nic {
+  int park_msg(unsigned long when, int src, unsigned long bytes);
+  void arrive(int idx);
+  void deliver_parked(int idx);
+  void send(int dst);
+};
+
+void Nic::send(int dst) {
+  Nic* dst_nic = this + dst;
+  const int idx = dst_nic->park_msg(0, 0, 8);
+  dst_nic->arrive(idx);
+  dst_nic->deliver_parked(idx);
+}

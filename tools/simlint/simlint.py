@@ -28,6 +28,11 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
   D5  heuristic: a by-reference lambda capture passed to
       Engine::at/after/at_cancellable/after_cancellable outlives the
       current frame and is a dangling-capture hazard; capture by value.
+  D6  no direct NIC-injection calls (park_msg / deliver_parked /
+      <nic>.arrive) outside sim/nic.{cpp,hpp}: Nic::send() is the one
+      sanctioned injection point, where the mcheck Explorer hook can
+      delay the arrival; a bypass makes that delivery invisible to
+      bounded model checking.
 
 Suppression: append `// simlint:allow(D1)` or
 `// simlint:allow(D1: justification)` to the offending line; a
@@ -59,6 +64,7 @@ RULES = {
     "D3": "pointer-keyed ordered container (address-order nondeterminism)",
     "D4": "std::function on a sim/net hot path (util::InlineFunction mandated)",
     "D5": "by-reference lambda capture passed to Engine scheduling (dangling hazard)",
+    "D6": "direct NIC injection bypassing the Explorer hook in Nic::send()",
 }
 
 
@@ -468,6 +474,47 @@ def check_d5(f: StrippedFile) -> list:
     return findings
 
 
+# --- D6: direct NIC injection bypassing the Explorer hook --------------------
+
+# Method-call sites only (receiver required): the declarations in
+# sim/nic.hpp and the internal calls in sim/nic.cpp are the sanctioned
+# implementation and are exempted by file name below.
+D6_PARKED_RE = re.compile(r"(?:\.|->)\s*(park_msg|deliver_parked)\s*\(")
+D6_ARRIVE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*arrive\s*\(")
+
+
+def d6_exempt(path: str) -> bool:
+    p = pathlib.PurePath(path)
+    return p.name in ("nic.cpp", "nic.hpp") and "sim" in p.parts
+
+
+def check_d6(f: StrippedFile) -> list:
+    if d6_exempt(f.path):
+        return []
+    findings = []
+
+    def flag(ln: int, what: str) -> None:
+        if not is_suppressed(f, ln, "D6"):
+            findings.append(
+                Finding(f.path, ln, "D6",
+                        f"{what} bypasses the Explorer injection hook in "
+                        "Nic::send(): mcheck cannot reorder this delivery, "
+                        "so explored schedules silently under-cover it; "
+                        "route the message through Nic::send()"))
+
+    for m in D6_PARKED_RE.finditer(f.code):
+        flag(line_of(f.code, m.start()),
+             f"direct call to Nic::{m.group(1)}()")
+    for m in D6_ARRIVE_RE.finditer(f.code):
+        # `arrive` is also an LCO method; only a NIC-named receiver is a
+        # delivery injection.
+        if "nic" not in m.group(1).lower():
+            continue
+        flag(line_of(f.code, m.start()),
+             f"direct call to {m.group(1)}.arrive()")
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 def gather_files(paths: list) -> list:
@@ -508,6 +555,8 @@ def lint_paths(paths: list, rules: set) -> list:
             findings.extend(check_d4(f))
         if "D5" in rules:
             findings.extend(check_d5(f))
+        if "D6" in rules:
+            findings.extend(check_d6(f))
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 
