@@ -19,7 +19,22 @@ constexpr std::uint32_t kBlockSize = 4096;
 std::vector<double> run_timeline(GasMode mode, bool with_churn) {
   Config cfg = Config::with_nodes(8, mode);
   cfg.machine.mem_bytes_per_node = 16u << 20;
+  if (with_churn) {
+    // An lb::Balancer tuned to storm: zero-threshold greedy on a 3 µs
+    // epoch keeps chasing the stochastic heat gaps of a uniform random
+    // workload, so blocks migrate continuously while the window is
+    // enabled — the rebalancing-storm shape the old hand-rolled churn
+    // fibers produced, now driven through the real subsystem.
+    cfg.lb.policy = lb::PolicyKind::kGreedy;
+    cfg.lb.epoch_ns = 3'000;
+    cfg.lb.decay_shift = 1;
+    cfg.lb.max_moves_per_epoch = 4;
+    cfg.lb.max_inflight = 4;
+    cfg.lb.min_heat = 0;
+    cfg.lb.benefit_ns_per_access = 1'000'000;  // disarm the cost gate
+  }
   World world(cfg);
+  if (world.balancer() != nullptr) world.balancer()->set_enabled(false);
 
   std::vector<std::uint64_t> window_ops(kRunNs / kWindowNs + 2, 0);
   const std::uint64_t words =
@@ -30,22 +45,14 @@ std::vector<double> run_timeline(GasMode mode, bool with_churn) {
     if (ctx.rank() == 0) table = alloc_cyclic(ctx, kBlocks, kBlockSize);
     co_await world.coll().barrier(ctx);
 
-    if (with_churn && ctx.rank() == 7 && world.gas().supports_migration()) {
-      // Four concurrent churn fibers, one migration each every ~3 us: a
-      // rebalancing storm over a small (64-block) table, so running
-      // traffic constantly collides with moving blocks.
-      for (int cf = 0; cf < 4; ++cf) {
-        ctx.spawn(7, [&, cf](Context& c) -> Fiber {
-          util::Rng rng(31 + static_cast<std::uint64_t>(cf));
-          co_await c.sleep(kChurnStartNs);
-          while (c.now() < kChurnEndNs) {
-            const auto b = static_cast<std::int64_t>(rng.below(kBlocks));
-            co_await migrate(c, table.advanced(b * kBlockSize, kBlockSize),
-                             static_cast<int>(rng.below(8)));
-            co_await c.sleep(3'000);
-          }
-        });
-      }
+    if (with_churn && ctx.rank() == 7 && world.balancer() != nullptr &&
+        world.balancer()->active()) {
+      ctx.spawn(7, [&](Context& c) -> Fiber {
+        co_await c.sleep(kChurnStartNs);
+        world.balancer()->set_enabled(true);
+        co_await c.sleep(kChurnEndNs - kChurnStartNs);
+        world.balancer()->set_enabled(false);
+      });
     }
 
     util::Rng rng(1000 + static_cast<std::uint64_t>(ctx.rank()));
@@ -70,6 +77,12 @@ std::vector<double> run_timeline(GasMode mode, bool with_churn) {
   for (std::size_t w = 0; w < kRunNs / kWindowNs; ++w) {
     rates.push_back(static_cast<double>(window_ops[w]) /
                     (static_cast<double>(kWindowNs) / 1e9) / 1e6);  // M ops/s
+  }
+  if (with_churn) {
+    std::printf("%s churn: %llu balancer migrations, %llu bounced\n",
+                mode_name(mode),
+                static_cast<unsigned long long>(world.counters().lb_migrations),
+                static_cast<unsigned long long>(world.counters().lb_bounced));
   }
   return rates;
 }

@@ -1,14 +1,19 @@
 // R-F6 — load-imbalance repair: skewed actor workload makespan.
 //
 // All actors are born on rank 0 (placement skew); a closed-loop task
-// stream drives them through apply(). Five configurations:
-//   pgas            — placement frozen forever (the AGAS motivation),
-//   agas-sw  static — mobility available but unused,
-//   agas-sw  rebal  — balancer migrates actors (directory + invalidation
-//                     cost on every move),
-//   agas-net static,
-//   agas-net rebal  — NIC-managed migration.
+// stream drives them through apply(). The sweep crosses address-space
+// mode with the adaptive migration subsystem's policy axis (src/lb/):
+//   pgas     × {none, hysteresis} — placement frozen forever; the
+//              balancer constructs inert, so both rows must be
+//              byte-identical (trace hash printed to prove it),
+//   agas-sw  × {none, greedy, hysteresis, diffusive},
+//   agas-net × {none, greedy, hysteresis, diffusive}.
+// Heat accrues from the resolve() calls the apply trampoline makes, so
+// the balancer sees exactly the task traffic each actor receives.
+//
+// Results land in BENCH_loadbalance.json (cwd) for cross-PR tracking.
 #include <algorithm>
+#include <cstdio>
 
 #include "common.hpp"
 
@@ -20,19 +25,30 @@ constexpr sim::Time kTaskComputeNs = 20'000;
 
 struct LbResult {
   double makespan_ms = 0;
-  std::uint64_t migrations = 0;
-  double imbalance = 0;
+  std::uint64_t migrations = 0;   // balancer-issued moves
+  std::uint64_t rejected = 0;     // plan entries killed by the cost gate
+  double imbalance = 0;           // max node task share / fair share
+  std::uint64_t trace_hash = 0;
 };
 
-LbResult run_lb(GasMode mode, bool rebalance, std::uint32_t actors,
+LbResult run_lb(GasMode mode, lb::PolicyKind policy, std::uint32_t actors,
                 std::uint64_t tasks, int nodes) {
   Config cfg = Config::with_nodes(nodes, mode);
+  cfg.lb.policy = policy;
+  cfg.lb.epoch_ns = 100'000;
+  cfg.lb.decay_shift = 1;
+  cfg.lb.max_moves_per_epoch = 3;
+  cfg.lb.max_inflight = 3;
+  cfg.lb.min_heat = 2 * lb::kAccessUnit;
+  // Every access an actor absorbs costs kTaskComputeNs of CPU at its
+  // owner, so that is the per-access benefit of moving it off an
+  // overloaded node.
+  cfg.lb.benefit_ns_per_access = kTaskComputeNs;
   World world(cfg);
-  const bool can_migrate = world.gas().supports_migration();
 
   std::vector<std::uint64_t> actor_tasks(actors, 0);
-  std::vector<std::uint64_t> window_tasks(actors, 0);
   std::uint64_t completed = 0;
+  sim::Time done_ns = 0;
   rt::AndGate all_done(tasks);
 
   Gva actor_base;
@@ -41,7 +57,6 @@ LbResult run_lb(GasMode mode, bool rebalance, std::uint32_t actors,
       [&](Context& c, int, std::uint32_t actor, rt::LcoRef cont) {
         c.charge(kTaskComputeNs);
         ++actor_tasks[actor];
-        ++window_tasks[actor];
         ++completed;
         all_done.arrive(c.now());
         c.set_lco(cont);
@@ -69,49 +84,8 @@ LbResult run_lb(GasMode mode, bool rebalance, std::uint32_t actors,
         }
       });
     }
-
-    if (rebalance && can_migrate) {
-      ctx.spawn(ctx.ranks() - 1, [&](Context& c) -> Fiber {
-        while (completed < tasks) {
-          co_await c.sleep(100'000);
-          std::vector<std::uint64_t> load(static_cast<std::size_t>(c.ranks()), 0);
-          std::vector<int> owner(actors);
-          for (std::uint32_t a = 0; a < actors; ++a) {
-            const Gva addr = actor_base.advanced(
-                static_cast<std::int64_t>(a) * kActorState, kActorState);
-            owner[a] = world.gas().owner_of(addr).first;
-            load[static_cast<std::size_t>(owner[a])] += window_tasks[a];
-          }
-          for (int moves = 0; moves < 3; ++moves) {
-            const auto busiest = static_cast<int>(
-                std::max_element(load.begin(), load.end()) - load.begin());
-            const auto idlest = static_cast<int>(
-                std::min_element(load.begin(), load.end()) - load.begin());
-            const auto hi = load[static_cast<std::size_t>(busiest)];
-            const auto lo = load[static_cast<std::size_t>(idlest)];
-            if (busiest == idlest || hi < lo + lo / 2 + 2) break;
-            std::uint32_t pick = actors;
-            std::uint64_t pick_count = 0;
-            for (std::uint32_t a = 0; a < actors; ++a) {
-              if (owner[a] == busiest && window_tasks[a] >= pick_count &&
-                  window_tasks[a] <= hi - lo) {
-                pick = a;
-                pick_count = window_tasks[a];
-              }
-            }
-            if (pick == actors || pick_count == 0) break;
-            const Gva addr = actor_base.advanced(
-                static_cast<std::int64_t>(pick) * kActorState, kActorState);
-            co_await migrate(c, addr, idlest);
-            owner[pick] = idlest;
-            load[static_cast<std::size_t>(busiest)] -= pick_count;
-            load[static_cast<std::size_t>(idlest)] += pick_count;
-          }
-          for (auto& w : window_tasks) w = 0;
-        }
-      });
-    }
     co_await all_done;
+    done_ns = ctx.now();
   });
   world.run();
 
@@ -123,11 +97,13 @@ LbResult run_lb(GasMode mode, bool rebalance, std::uint32_t actors,
         actor_tasks[a];
   }
   LbResult out;
-  out.makespan_ms = static_cast<double>(world.now()) / 1e6;
-  out.migrations = world.counters().migrations;
+  out.makespan_ms = static_cast<double>(done_ns) / 1e6;
+  out.migrations = world.counters().lb_migrations;
+  out.rejected = world.counters().lb_rejected_cost;
   out.imbalance = static_cast<double>(
                       *std::max_element(final_load.begin(), final_load.end())) /
                   (static_cast<double>(tasks) / nodes);
+  out.trace_hash = world.engine().trace_hash();
   return out;
 }
 
@@ -140,35 +116,83 @@ int main(int argc, char** argv) {
   const auto actors = static_cast<std::uint32_t>(opt.get_uint("actors", 48));
   const std::uint64_t tasks = opt.get_uint("tasks", 1200);
   const int nodes = static_cast<int>(opt.get_int("nodes", 8));
+  const std::string out_path = opt.get("out", "BENCH_loadbalance.json");
 
-  print_header("R-F6", "skewed actor workload: makespan with/without mobility");
+  print_header("R-F6", "skewed actor workload: makespan across lb policies");
 
-  nvgas::util::Table t("actor workload makespan");
-  t.columns({"config", "makespan (ms)", "migrations", "task imbalance"});
   struct Cfg {
     const char* name;
     nvgas::GasMode mode;
-    bool rebalance;
+    nvgas::lb::PolicyKind policy;
   };
+  using PK = nvgas::lb::PolicyKind;
   const Cfg cfgs[] = {
-      {"pgas (immobile)", nvgas::GasMode::kPgas, false},
-      {"agas-sw  static", nvgas::GasMode::kAgasSw, false},
-      {"agas-sw  rebalance", nvgas::GasMode::kAgasSw, true},
-      {"agas-net static", nvgas::GasMode::kAgasNet, false},
-      {"agas-net rebalance", nvgas::GasMode::kAgasNet, true},
+      {"pgas     none", nvgas::GasMode::kPgas, PK::kNone},
+      {"pgas     hysteresis", nvgas::GasMode::kPgas, PK::kHysteresis},
+      {"agas-sw  none", nvgas::GasMode::kAgasSw, PK::kNone},
+      {"agas-sw  greedy", nvgas::GasMode::kAgasSw, PK::kGreedy},
+      {"agas-sw  hysteresis", nvgas::GasMode::kAgasSw, PK::kHysteresis},
+      {"agas-sw  diffusive", nvgas::GasMode::kAgasSw, PK::kDiffusive},
+      {"agas-net none", nvgas::GasMode::kAgasNet, PK::kNone},
+      {"agas-net greedy", nvgas::GasMode::kAgasNet, PK::kGreedy},
+      {"agas-net hysteresis", nvgas::GasMode::kAgasNet, PK::kHysteresis},
+      {"agas-net diffusive", nvgas::GasMode::kAgasNet, PK::kDiffusive},
   };
+
+  nvgas::util::Table t("actor workload makespan");
+  t.columns({"config", "makespan (ms)", "lb moves", "cost-rejected",
+             "task imbalance"});
+  std::vector<LbResult> results;
   for (const auto& c : cfgs) {
-    const LbResult r = run_lb(c.mode, c.rebalance, actors, tasks, nodes);
+    const LbResult r = run_lb(c.mode, c.policy, actors, tasks, nodes);
+    results.push_back(r);
     t.cell(c.name)
         .cell(r.makespan_ms, 2)
         .cell(r.migrations)
+        .cell(r.rejected)
         .cell(r.imbalance, 2)
         .end_row();
   }
   t.print(std::cout);
+
+  const bool pgas_inert = results[0].trace_hash == results[1].trace_hash;
+  std::printf("\npgas inert check: none vs hysteresis trace hash %s "
+              "(0x%016llx vs 0x%016llx)\n",
+              pgas_inert ? "IDENTICAL" : "DIVERGED",
+              static_cast<unsigned long long>(results[0].trace_hash),
+              static_cast<unsigned long long>(results[1].trace_hash));
   std::printf(
-      "\nExpected shape: immobile configs pay the full placement skew;\n"
-      "rebalancing repairs it; agas-net rebalances at least as well as\n"
-      "agas-sw (its migrations are cheaper and invalidation-free).\n");
-  return 0;
+      "Expected shape: immobile configs pay the full placement skew;\n"
+      "every active policy repairs it; hysteresis matches greedy's\n"
+      "makespan with strictly fewer migrations (threshold + cooldown);\n"
+      "diffusive converges with neighbor-only information.\n");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"loadbalance\",\n"
+               "  \"actors\": %u,\n  \"tasks\": %llu,\n  \"nodes\": %d,\n"
+               "  \"configs\": [\n",
+               actors, static_cast<unsigned long long>(tasks), nodes);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LbResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"policy\": \"%s\", "
+                 "\"makespan_ms\": %.3f, \"lb_migrations\": %llu, "
+                 "\"cost_rejected\": %llu, \"imbalance\": %.3f, "
+                 "\"trace_hash\": \"0x%016llx\"}%s\n",
+                 mode_name(cfgs[i].mode), nvgas::lb::to_string(cfgs[i].policy),
+                 r.makespan_ms, static_cast<unsigned long long>(r.migrations),
+                 static_cast<unsigned long long>(r.rejected), r.imbalance,
+                 static_cast<unsigned long long>(r.trace_hash),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"pgas_inert\": %s\n}\n",
+               pgas_inert ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return pgas_inert ? 0 : 1;
 }

@@ -279,6 +279,7 @@ void AgasNet::memput_notify(sim::TaskCtx& task, int node, gas::Gva dst,
                             net::OnDone remote_notify) {
   heap_->check_extent(dst, data.size());
   ++fabric_->counters().gas_memputs;
+  note_access(node, dst);
   Op op;
   op.kind = Op::Kind::kPut;
   op.src = node;
@@ -302,6 +303,7 @@ void AgasNet::memget(sim::TaskCtx& task, int node, gas::Gva src,
                      std::size_t len, net::OnData done) {
   heap_->check_extent(src, len);
   ++fabric_->counters().gas_memgets;
+  note_access(node, src);
   Op op;
   op.kind = Op::Kind::kGet;
   op.src = node;
@@ -325,6 +327,7 @@ void AgasNet::fetch_add(sim::TaskCtx& task, int node, gas::Gva addr,
                         std::uint64_t operand, net::OnU64 done) {
   heap_->check_extent(addr, sizeof(std::uint64_t));
   ++fabric_->counters().gas_atomics;
+  note_access(node, addr);
   Op op;
   op.kind = Op::Kind::kFadd;
   op.src = node;
@@ -347,6 +350,7 @@ void AgasNet::resolve(sim::TaskCtx& task, int node, gas::Gva addr,
                       gas::OnOwner done) {
   // The CPU consults the local NIC TLB; on a miss the home NIC answers
   // (one round trip, no CPU at the home).
+  note_access(node, addr);
   task.charge(fabric_->params().nic_tlb_ns);
   const std::uint64_t key = addr.block_key();
   if (const auto hit = tlb_mut(node).lookup(key)) {

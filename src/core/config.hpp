@@ -4,6 +4,7 @@
 #include "core/agas_net.hpp"
 #include "gas/costs.hpp"
 #include "gas/gas_api.hpp"
+#include "lb/policy.hpp"
 #include "net/config.hpp"
 #include "rt/collectives.hpp"
 #include "rt/costs.hpp"
@@ -18,6 +19,7 @@ struct Config {
   rt::CollAlgo coll_algo = rt::CollAlgo::kFlat;  // collective algorithm
   gas::GasCosts gas_costs;         // address-space software costs
   core::AgasNetConfig agas_net;    // contribution's design knobs
+  lb::LbConfig lb;                 // adaptive migration subsystem (src/lb)
   gas::GasMode gas_mode = gas::GasMode::kAgasNet;
   std::uint64_t seed = 0x5eed0000;  // workload RNG seed (determinism)
 

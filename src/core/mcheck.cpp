@@ -289,6 +289,73 @@ Scenario fence_chain_signal() {
   return s;
 }
 
+// The lb balancer's epoch fires while puts to the victim block are
+// still in flight: an aggressive greedy balancer (tiny epoch, cost gate
+// effectively open) chases the writers' heat, so balancer-initiated
+// migrations race the application's puts. Verifies no acked write is
+// lost, plus the balancer migration ledger and all protocol invariants.
+Scenario rebalance_under_put() {
+  Scenario s;
+  s.name = "rebalance-under-put";
+  s.description = "balancer epochs migrate the victim block while puts to "
+                  "it are in flight";
+  s.configure = [](Config& cfg) {
+    cfg.lb.policy = lb::PolicyKind::kGreedy;
+    cfg.lb.epoch_ns = 4'000;
+    cfg.lb.decay_shift = 1;
+    cfg.lb.max_moves_per_epoch = 2;
+    cfg.lb.max_inflight = 2;
+    cfg.lb.min_heat = lb::kAccessUnit;           // one access is enough
+    cfg.lb.benefit_ns_per_access = 1'000'000;    // cost gate wide open
+  };
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      // Three writers, six words each, in two bursts a balancer epoch
+      // apart: the first burst builds heat so an epoch migrates the
+      // block while the second burst's puts are in flight.
+      for (int writer = 1; writer <= 3; ++writer) {
+        const auto first = static_cast<std::uint64_t>(writer - 1) * 6;
+        ctx.spawn(writer, [b, first](Context& c) -> Fiber {
+          for (int round = 0; round < 2; ++round) {
+            auto gate = std::make_shared<rt::AndGate>(3);
+            const std::uint64_t base =
+                first + static_cast<std::uint64_t>(round) * 3;
+            for (std::uint64_t w = base; w < base + 3; ++w) {
+              memput_value_nb<std::uint64_t>(
+                  c, b.advanced(static_cast<std::int64_t>(w) * 8, 256),
+                  0x200 + w, *gate);
+            }
+            co_await *gate;
+            if (round == 0) co_await c.sleep(4'000);
+          }
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>([&world, &obs, block] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      for (std::uint64_t w = 0; w < 18; ++w) {
+        const auto v =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x200 + w) {
+          obs.fail(util::format(
+              "rebalance-under-put: word %llu reads %llx at final owner "
+              "%d, expected %llx (a write raced a balancer migration and "
+              "was lost)",
+              static_cast<unsigned long long>(w),
+              static_cast<unsigned long long>(v), owner,
+              static_cast<unsigned long long>(0x200 + w)));
+          return;
+        }
+      }
+    });
+  };
+  return s;
+}
+
 // --- single-schedule execution ----------------------------------------------
 
 struct RunOutcome {
@@ -303,6 +370,7 @@ RunOutcome run_schedule(const Scenario& sc, const McheckOptions& opt,
                         const sim::Schedule& schedule) {
   Config cfg = Config::with_nodes(opt.nodes, opt.mode);
   cfg.gas_costs.fault_sw_skip_one_sharer_inv = opt.fault_sw_skip_sharer_inv;
+  if (sc.configure) sc.configure(cfg);
 
   // Construction order is destruction-safety: the Explorer outlives the
   // World (NICs hold a raw pointer); the observer is declared after the
@@ -351,6 +419,7 @@ std::vector<Scenario> scenario_library() {
   lib.push_back(put_put_race());
   lib.push_back(stale_cache_storm());
   lib.push_back(fence_chain_signal());
+  lib.push_back(rebalance_under_put());
   return lib;
 }
 

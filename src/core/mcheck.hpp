@@ -67,10 +67,13 @@ struct Scenario {
   std::string name;
   std::string description;
   std::function<std::function<void()>(World&, gas::InvariantObserver&)> start;
+  // Optional Config overlay applied before the world is built (e.g. to
+  // enable the lb balancer for rebalance scenarios).
+  std::function<void(Config&)> configure;
 };
 
 // The built-in scenario library: move-under-put, put-put-race,
-// stale-cache-storm, fence-chain-signal.
+// stale-cache-storm, fence-chain-signal, rebalance-under-put.
 [[nodiscard]] std::vector<Scenario> scenario_library();
 
 // Explores `sc` under `opt` (baseline first, then delay-bounded DFS).

@@ -37,6 +37,12 @@ World::World(const Config& cfg) : cfg_(cfg) {
     runtime_->ctx(n).gas = gas_.get();
   }
 
+  if (cfg_.lb.policy != lb::PolicyKind::kNone) {
+    // Inert (observes nothing, schedules nothing) when the manager
+    // cannot migrate, so e.g. a PGAS run stays byte-identical.
+    balancer_ = std::make_unique<lb::Balancer>(*fabric_, *gas_, cfg_.lb);
+  }
+
   // The apply trampoline: a parcel targeted at a GVA carries
   // [u64 gva][u32 action][args...]. The receiving runtime re-resolves the
   // address; if the object has moved since the sender's (possibly stale)

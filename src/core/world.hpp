@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "core/config.hpp"
+#include "lb/balancer.hpp"
 #include "net/endpoint.hpp"
 #include "rt/collectives.hpp"
 #include "rt/runtime.hpp"
@@ -47,6 +48,9 @@ class World {
   [[nodiscard]] rt::Collectives& coll() { return *coll_; }
   [[nodiscard]] gas::GasBase& gas() { return *gas_; }
   [[nodiscard]] gas::GlobalHeap& heap() { return *heap_; }
+  // The adaptive migration balancer; null when cfg.lb.policy is `none`.
+  // Constructed inert (active() false) on managers that cannot migrate.
+  [[nodiscard]] lb::Balancer* balancer() { return balancer_.get(); }
   [[nodiscard]] int ranks() const { return fabric_->nodes(); }
   [[nodiscard]] sim::Time now() const { return fabric_->engine().now(); }
 
@@ -76,6 +80,7 @@ class World {
   std::unique_ptr<rt::Collectives> coll_;
   std::unique_ptr<gas::GlobalHeap> heap_;
   std::unique_ptr<gas::GasBase> gas_;
+  std::unique_ptr<lb::Balancer> balancer_;
 };
 
 // ---------------------------------------------------------------------------

@@ -162,6 +162,7 @@ void AgasSw::memput_notify(sim::TaskCtx& task, int node, Gva dst,
                            net::OnDone remote_notify) {
   heap_->check_extent(dst, data.size());
   ++fabric_->counters().gas_memputs;
+  note_access(node, dst);
   remote_notify = instrument_signal(std::move(remote_notify));
   const std::uint64_t key = dst.block_key();
   const std::uint32_t off = dst.offset();
@@ -190,6 +191,7 @@ void AgasSw::memget(sim::TaskCtx& task, int node, Gva src, std::size_t len,
                     net::OnData done) {
   heap_->check_extent(src, len);
   ++fabric_->counters().gas_memgets;
+  note_access(node, src);
   const std::uint64_t key = src.block_key();
   const std::uint32_t off = src.offset();
   with_translation(
@@ -215,6 +217,7 @@ void AgasSw::fetch_add(sim::TaskCtx& task, int node, Gva addr,
                        std::uint64_t operand, net::OnU64 done) {
   heap_->check_extent(addr, sizeof(std::uint64_t));
   ++fabric_->counters().gas_atomics;
+  note_access(node, addr);
   const std::uint64_t key = addr.block_key();
   const std::uint32_t off = addr.offset();
   with_translation(
@@ -237,6 +240,7 @@ void AgasSw::fetch_add(sim::TaskCtx& task, int node, Gva addr,
 }
 
 void AgasSw::resolve(sim::TaskCtx& task, int node, Gva addr, OnOwner done) {
+  note_access(node, addr);
   with_translation(task, node, addr.block_base(),
                    [done = std::move(done)](sim::TaskCtx& t, const CacheEntry& e) {
                      done(t.now(), e.owner);

@@ -51,6 +51,9 @@ void GasBase::free_alloc(sim::TaskCtx& task, int node, Gva base) {
     const auto [owner, lva] = drop_block_state(block);
     heap_->store(owner).release(lva, meta.block_size);
     if (observer_ != nullptr) observer_->on_free(block.block_key());
+    if (access_observer_ != nullptr) {
+      access_observer_->on_block_freed(block.block_key());
+    }
   }
   heap_->release_meta(meta.id);
 }

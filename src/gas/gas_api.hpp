@@ -38,6 +38,24 @@ using OnOwner = std::function<void(sim::Time, int owner)>;
 
 class InvariantObserver;  // gas/invariants.hpp
 
+// Passive consumer of the full data-path access stream (local hits
+// included), independent of the InvariantObserver slot so heat tracking
+// (src/lb) can run alongside protocol checking. Hooks fire at op issue
+// time on the issuing node, charge nothing, and must not call back into
+// the manager's data path.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  // A data-path op (put/get/fadd/resolve) from `node` targeted
+  // `block_key` and the issuing node currently owns the block.
+  virtual void on_local_access(int node, std::uint64_t block_key) = 0;
+  // Same, but the block currently lives on another node.
+  virtual void on_remote_access(int node, std::uint64_t block_key) = 0;
+  // The block's translation state was dropped (free_alloc): the key may
+  // be recycled, so any retained per-block state must be discarded.
+  virtual void on_block_freed(std::uint64_t block_key) = 0;
+};
+
 class GasBase {
  public:
   GasBase(sim::Fabric& fabric, net::EndpointGroup& endpoints, GlobalHeap& heap,
@@ -106,6 +124,15 @@ class GasBase {
   void set_observer(InvariantObserver* observer) { observer_ = observer; }
   [[nodiscard]] InvariantObserver* observer() const { return observer_; }
 
+  // Attach an AccessObserver (see above). Null detaches. Independent of
+  // the InvariantObserver slot; both may be attached at once.
+  void set_access_observer(AccessObserver* observer) {
+    access_observer_ = observer;
+  }
+  [[nodiscard]] AccessObserver* access_observer() const {
+    return access_observer_;
+  }
+
   // Pull-based structure audits (see docs/MODEL_CHECKING.md). Both return
   // "" when the check passes, else a description of the first violation.
   // audit_translation: every cached translation anywhere agrees with the
@@ -122,6 +149,18 @@ class GasBase {
   [[nodiscard]] sim::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] net::Endpoint& ep(int node) { return endpoints_->at(node); }
   [[nodiscard]] int ranks() const { return fabric_->nodes(); }
+
+  // Report one data-path access to the attached AccessObserver (no-op
+  // when none). Classifies local vs remote against the authoritative
+  // current owner; purely observational, charges nothing.
+  void note_access(int node, Gva addr) const {
+    if (access_observer_ == nullptr) return;
+    if (owner_of(addr.block_base()).first == node) {
+      access_observer_->on_local_access(node, addr.block_key());
+    } else {
+      access_observer_->on_remote_access(node, addr.block_key());
+    }
+  }
 
   // Wrap a memput_notify remote-notification callback in the observer's
   // exactly-once signal ledger; identity when no observer is attached.
@@ -145,6 +184,7 @@ class GasBase {
   GlobalHeap* heap_;
   GasCosts costs_;
   InvariantObserver* observer_ = nullptr;
+  AccessObserver* access_observer_ = nullptr;
 };
 
 }  // namespace nvgas::gas

@@ -158,6 +158,12 @@ void InvariantObserver::on_migration_start(std::uint64_t block_key) {
                       "migration of it is still in flight",
                       static_cast<unsigned long long>(block_key)));
   }
+  ++checks_;
+  if (ks.fenced) {
+    fail(util::format("migration started on block %llx while a fence on "
+                      "it is in flight (fence complete, commit pending)",
+                      static_cast<unsigned long long>(block_key)));
+  }
   ks.moving = true;
 }
 
@@ -201,6 +207,30 @@ void InvariantObserver::on_migration_commit(std::uint64_t block_key,
 
 void InvariantObserver::on_free(std::uint64_t block_key) {
   keys_.erase(block_key);
+}
+
+void InvariantObserver::on_balancer_migrate_issued(std::uint64_t block_key) {
+  ++checks_;
+  ++lb_issued_;
+  if (++lb_inflight_[block_key] > 1) {
+    fail(util::format("balancer issued a second migration of block %llx "
+                      "while its first is still in flight (per-block "
+                      "throttle violated)",
+                      static_cast<unsigned long long>(block_key)));
+  }
+}
+
+void InvariantObserver::on_balancer_migrate_done(std::uint64_t block_key) {
+  ++checks_;
+  ++lb_done_;
+  const auto it = lb_inflight_.find(block_key);
+  if (it == lb_inflight_.end() || it->second == 0) {
+    fail(util::format("balancer migration of block %llx completed with no "
+                      "matching issue",
+                      static_cast<unsigned long long>(block_key)));
+    return;
+  }
+  if (--it->second == 0) lb_inflight_.erase(it);
 }
 
 std::uint64_t InvariantObserver::expect_signal() {
@@ -249,6 +279,13 @@ std::string InvariantObserver::check_quiescent(const sim::Counters& counters) {
     if (fired_[i] == 0) {
       fail(util::format("memput_notify signal %zu never delivered", i));
     }
+  }
+  ++checks_;
+  if (lb_issued_ != lb_done_) {
+    fail(util::format("balancer migration ledger not conserved: %llu "
+                      "issued, %llu completed",
+                      static_cast<unsigned long long>(lb_issued_),
+                      static_cast<unsigned long long>(lb_done_)));
   }
   for (const auto& [key, ks] : keys_) {
     ++checks_;

@@ -94,6 +94,15 @@ class InvariantObserver {
   // Block freed: forget its protocol state (keys may be reused).
   void on_free(std::uint64_t block_key);
 
+  // --- balancer migration ledger (src/lb) ---------------------------------
+  // lb::Balancer brackets every migration it initiates with this pair so
+  // quiescence can prove balancer-initiated moves are conserved: every
+  // issue reaches its completion callback (and thus shows up in the same
+  // message/byte ledger as any other migration), none is dropped by the
+  // throttle after being handed to the manager.
+  void on_balancer_migrate_issued(std::uint64_t block_key);
+  void on_balancer_migrate_done(std::uint64_t block_key);
+
   // Exactly-once signal ledger for memput_notify remote notifications:
   // expect_signal() registers one expected delivery and returns its
   // token; on_signal() marks it fired. GasBase::instrument_signal wraps
@@ -143,6 +152,11 @@ class InvariantObserver {
   // Ordered so quiescence sweeps are deterministic.
   std::map<std::uint64_t, KeyState> keys_;
   std::vector<std::uint8_t> fired_;  // signal token -> delivery count
+  // Balancer migration ledger: issued must equal done at quiescence and
+  // per-key issues may not nest (the balancer throttles per block).
+  std::map<std::uint64_t, std::uint64_t> lb_inflight_;
+  std::uint64_t lb_issued_ = 0;
+  std::uint64_t lb_done_ = 0;
   std::vector<HistOp> history_;
   std::string violation_;
   std::uint64_t violations_ = 0;

@@ -13,6 +13,7 @@ void Pgas::do_memput(sim::TaskCtx& task, int node, Gva dst,
                      net::OnDone remote_notify) {
   heap_->check_extent(dst, data.size());
   ++fabric_->counters().gas_memputs;
+  note_access(node, dst);
   task.charge(costs_.pgas_translate_ns);
   const Place p = translate(dst);
   if (p.owner == node) {
@@ -41,6 +42,7 @@ void Pgas::memget(sim::TaskCtx& task, int node, Gva src, std::size_t len,
                   net::OnData done) {
   heap_->check_extent(src, len);
   ++fabric_->counters().gas_memgets;
+  note_access(node, src);
   task.charge(costs_.pgas_translate_ns);
   const Place p = translate(src);
   if (p.owner == node) {
@@ -55,6 +57,7 @@ void Pgas::fetch_add(sim::TaskCtx& task, int node, Gva addr,
                      std::uint64_t operand, net::OnU64 done) {
   heap_->check_extent(addr, sizeof(std::uint64_t));
   ++fabric_->counters().gas_atomics;
+  note_access(node, addr);
   task.charge(costs_.pgas_translate_ns);
   const Place p = translate(addr);
   if (p.owner == node) {
@@ -65,7 +68,8 @@ void Pgas::fetch_add(sim::TaskCtx& task, int node, Gva addr,
   ep(node).fetch_add(task.now(), p.owner, p.lva, operand, std::move(done));
 }
 
-void Pgas::resolve(sim::TaskCtx& task, int /*node*/, Gva addr, OnOwner done) {
+void Pgas::resolve(sim::TaskCtx& task, int node, Gva addr, OnOwner done) {
+  note_access(node, addr);
   task.charge(costs_.pgas_translate_ns);
   done(task.now(), addr.home(fabric_->nodes()));
 }

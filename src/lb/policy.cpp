@@ -1,0 +1,264 @@
+#include "lb/policy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/options.hpp"
+
+namespace nvgas::lb {
+namespace {
+
+// Ranks ordered by load descending (ties: lowest rank), recomputed from
+// the working copy of the loads each time a move is applied.
+std::vector<int> by_load_desc(const std::vector<std::uint64_t>& loads) {
+  std::vector<int> order(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&loads](int a, int b) {
+    return loads[static_cast<std::size_t>(a)] > loads[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+int argmin_load(const std::vector<std::uint64_t>& loads) {
+  int best = 0;
+  for (int n = 1; n < static_cast<int>(loads.size()); ++n) {
+    if (loads[static_cast<std::size_t>(n)] < loads[static_cast<std::size_t>(best)]) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+// Movable-block candidate lists per owner, hottest first (ties: lowest
+// key), as indices into snap.blocks.
+std::vector<std::vector<std::size_t>> candidates_by_owner(
+    const Snapshot& snap, const LbConfig& cfg,
+    const std::map<std::uint64_t, std::uint64_t>* last_move) {
+  std::vector<std::vector<std::size_t>> cand(
+      static_cast<std::size_t>(snap.ranks));
+  for (std::size_t i = 0; i < snap.blocks.size(); ++i) {
+    const PlacedBlock& b = snap.blocks[i];
+    if (b.frozen || b.heat < cfg.min_heat) continue;
+    if (last_move != nullptr) {
+      const auto it = last_move->find(b.key);
+      if (it != last_move->end() &&
+          snap.epoch < it->second + cfg.cooldown_epochs) {
+        continue;  // per-block cooldown: recently moved, leave it alone
+      }
+    }
+    cand[static_cast<std::size_t>(b.owner)].push_back(i);
+  }
+  for (auto& list : cand) {
+    std::stable_sort(list.begin(), list.end(),
+                     [&snap](std::size_t a, std::size_t b) {
+                       if (snap.blocks[a].heat != snap.blocks[b].heat) {
+                         return snap.blocks[a].heat > snap.blocks[b].heat;
+                       }
+                       return snap.blocks[a].key < snap.blocks[b].key;
+                     });
+  }
+  return cand;
+}
+
+// Destination for `b` leaving `donor`: the heaviest accessor that can
+// absorb the block without ending up above the donor (data-centric
+// placement that cannot invert the imbalance), else the idlest node.
+int pick_dst(const PlacedBlock& b, const std::vector<std::uint64_t>& loads,
+             int donor) {
+  int best = -1;
+  std::uint32_t best_units = 0;
+  for (int n = 0; n < static_cast<int>(loads.size()); ++n) {
+    if (n == donor) continue;
+    if (loads[static_cast<std::size_t>(n)] + b.heat >
+        loads[static_cast<std::size_t>(donor)] - b.heat) {
+      continue;
+    }
+    const std::uint32_t units = b.by_node[static_cast<std::size_t>(n)];
+    if (best == -1 || units > best_units) {
+      best = n;
+      best_units = units;
+    }
+  }
+  if (best != -1 && best_units > 0) return best;
+  return argmin_load(loads);
+}
+
+// Shared busiest-donates-to-idlest planner. Greedy runs it with no
+// trigger threshold and a full-gap block limit (it may bounce a block
+// back and forth chasing noise); hysteresis adds the imbalance trigger,
+// a half-gap block limit (a 50/50 split can never oscillate: moving the
+// whole gap is forbidden) and the per-block cooldown applied above.
+void plan_transfer(const Snapshot& snap, const LbConfig& cfg, bool hysteresis,
+                   const std::map<std::uint64_t, std::uint64_t>* last_move,
+                   std::vector<Move>& out) {
+  if (snap.ranks < 2) return;
+  std::vector<std::uint64_t> loads = snap.node_load;
+  const auto cand = candidates_by_owner(snap, cfg, last_move);
+  std::vector<bool> used(snap.blocks.size(), false);
+
+  for (std::uint32_t moves = 0; moves < cfg.max_moves_per_epoch;) {
+    const int idlest = argmin_load(loads);
+    const std::uint64_t lo = loads[static_cast<std::size_t>(idlest)];
+    int donor = -1;
+    std::size_t pick = snap.blocks.size();
+    for (const int dc : by_load_desc(loads)) {
+      if (dc == idlest) break;
+      const std::uint64_t hi = loads[static_cast<std::size_t>(dc)];
+      const std::uint64_t gap = hi - lo;
+      const bool triggered =
+          hysteresis ? hi * 100 > lo * cfg.imbalance_pct + cfg.min_heat * 100
+                     : gap > cfg.min_heat;
+      if (!triggered) break;  // loads are ordered: nobody below triggers
+      const std::uint64_t limit = hysteresis ? gap / 2 : gap;
+      for (const std::size_t i : cand[static_cast<std::size_t>(dc)]) {
+        if (used[i] || snap.blocks[i].heat > limit) continue;
+        donor = dc;
+        pick = i;
+        break;
+      }
+      if (donor != -1) break;
+    }
+    if (donor == -1) break;
+    const PlacedBlock& b = snap.blocks[pick];
+    const int dst = pick_dst(b, loads, donor);
+    if (dst == donor) break;
+    used[pick] = true;
+    out.push_back(Move{b.key, dst, b.heat});
+    loads[static_cast<std::size_t>(donor)] -= b.heat;
+    loads[static_cast<std::size_t>(dst)] += b.heat;
+    ++moves;
+  }
+}
+
+class NonePolicy final : public Policy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::kNone; }
+  void plan(const Snapshot&, const LbConfig&, std::vector<Move>&) override {}
+};
+
+class GreedyPolicy final : public Policy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::kGreedy; }
+  void plan(const Snapshot& snap, const LbConfig& cfg,
+            std::vector<Move>& out) override {
+    plan_transfer(snap, cfg, /*hysteresis=*/false, nullptr, out);
+  }
+};
+
+class HysteresisPolicy final : public Policy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kHysteresis;
+  }
+  void plan(const Snapshot& snap, const LbConfig& cfg,
+            std::vector<Move>& out) override {
+    plan_transfer(snap, cfg, /*hysteresis=*/true, &last_move_, out);
+  }
+  void on_moved(std::uint64_t key, std::uint64_t epoch) override {
+    last_move_[key] = epoch;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_move_;  // key -> epoch
+};
+
+// Neighbor-pairwise diffusion on a ring: each rank compares its load
+// with its clockwise neighbor only and sheds half the difference toward
+// the lighter side. Needs no global argmax/argmin — the decision each
+// pair makes depends only on the pair — so it is the shape that scales;
+// imbalance diffuses around the ring over successive epochs. The
+// per-block cooldown is load-bearing here: without it, load circulates
+// around the ring and a forwarded parcel chasing a block through stale
+// NIC translations feeds resolve heat back into the policy — a
+// self-sustaining migration livelock. The cooldown pins each block long
+// enough for in-flight traffic to catch up.
+class DiffusivePolicy final : public Policy {
+ public:
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kDiffusive;
+  }
+  void plan(const Snapshot& snap, const LbConfig& cfg,
+            std::vector<Move>& out) override {
+    if (snap.ranks < 2) return;
+    std::vector<std::uint64_t> loads = snap.node_load;
+    const auto cand = candidates_by_owner(snap, cfg, &last_move_);
+    std::vector<bool> used(snap.blocks.size(), false);
+    for (int n = 0; n < snap.ranks; ++n) {
+      const int r = (n + 1) % snap.ranks;
+      const std::uint64_t ln = loads[static_cast<std::size_t>(n)];
+      const std::uint64_t lr = loads[static_cast<std::size_t>(r)];
+      const int donor = ln >= lr ? n : r;
+      const int recv = ln >= lr ? r : n;
+      const std::uint64_t diff = ln >= lr ? ln - lr : lr - ln;
+      if (diff <= 2 * cfg.min_heat) continue;
+      std::uint64_t budget = diff / 2;
+      for (const std::size_t i : cand[static_cast<std::size_t>(donor)]) {
+        if (used[i] || snap.blocks[i].heat > budget) continue;
+        used[i] = true;
+        out.push_back(Move{snap.blocks[i].key, recv, snap.blocks[i].heat});
+        budget -= snap.blocks[i].heat;
+        loads[static_cast<std::size_t>(donor)] -= snap.blocks[i].heat;
+        loads[static_cast<std::size_t>(recv)] += snap.blocks[i].heat;
+        if (out.size() >= cfg.max_moves_per_epoch) return;
+      }
+    }
+  }
+  void on_moved(std::uint64_t key, std::uint64_t epoch) override {
+    last_move_[key] = epoch;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> last_move_;  // key -> epoch
+};
+
+}  // namespace
+
+bool parse_policy(const std::string& name, PolicyKind& out) {
+  if (name == "none") {
+    out = PolicyKind::kNone;
+  } else if (name == "greedy") {
+    out = PolicyKind::kGreedy;
+  } else if (name == "hysteresis") {
+    out = PolicyKind::kHysteresis;
+  } else if (name == "diffusive") {
+    out = PolicyKind::kDiffusive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone: return std::make_unique<NonePolicy>();
+    case PolicyKind::kGreedy: return std::make_unique<GreedyPolicy>();
+    case PolicyKind::kHysteresis: return std::make_unique<HysteresisPolicy>();
+    case PolicyKind::kDiffusive: return std::make_unique<DiffusivePolicy>();
+  }
+  return std::make_unique<NonePolicy>();
+}
+
+void apply_options(LbConfig& cfg, const util::Options& opts) {
+  const std::string name = opts.get("lb-policy", to_string(cfg.policy));
+  NVGAS_CHECK_MSG(parse_policy(name, cfg.policy),
+                  "unknown --lb-policy (want none/greedy/hysteresis/diffusive)");
+  cfg.epoch_ns = static_cast<sim::Time>(
+      opts.get_uint("lb-epoch-ns", static_cast<std::uint64_t>(cfg.epoch_ns)));
+  cfg.decay_shift = static_cast<std::uint32_t>(
+      opts.get_uint("lb-decay-shift", cfg.decay_shift));
+  cfg.max_moves_per_epoch = static_cast<std::uint32_t>(
+      opts.get_uint("lb-max-moves", cfg.max_moves_per_epoch));
+  cfg.max_inflight = static_cast<std::uint32_t>(
+      opts.get_uint("lb-max-inflight", cfg.max_inflight));
+  cfg.imbalance_pct = static_cast<std::uint32_t>(
+      opts.get_uint("lb-imbalance-pct", cfg.imbalance_pct));
+  cfg.cooldown_epochs = static_cast<std::uint32_t>(
+      opts.get_uint("lb-cooldown", cfg.cooldown_epochs));
+  cfg.min_heat = opts.get_uint("lb-min-heat", cfg.min_heat);
+  cfg.benefit_ns_per_access = static_cast<sim::Time>(opts.get_uint(
+      "lb-benefit-ns", static_cast<std::uint64_t>(cfg.benefit_ns_per_access)));
+  cfg.coordinator =
+      static_cast<int>(opts.get_int("lb-coordinator", cfg.coordinator));
+}
+
+}  // namespace nvgas::lb

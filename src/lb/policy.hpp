@@ -1,0 +1,135 @@
+// Pluggable rebalance policies: given a placed heat snapshot, propose a
+// migration plan. Policies are pure decision logic — the Balancer owns
+// observation (HeatMap), execution (GasApi::migrate), the throttle and
+// the cost gate. All arithmetic is integer and all iteration is in
+// deterministic (key / rank) order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/heat.hpp"
+#include "sim/time.hpp"
+
+namespace nvgas::lb {
+
+enum class PolicyKind : std::uint8_t {
+  kNone = 0,        // observe only, never migrate
+  kGreedy = 1,      // periodic global argmax: busiest donates to idlest
+  kHysteresis = 2,  // greedy + imbalance threshold + per-block cooldown
+  kDiffusive = 3,   // neighbor-pairwise exchange, no global view
+};
+
+[[nodiscard]] constexpr const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kGreedy: return "greedy";
+    case PolicyKind::kHysteresis: return "hysteresis";
+    case PolicyKind::kDiffusive: return "diffusive";
+  }
+  return "?";
+}
+
+// Parse a policy name ("none"/"greedy"/"hysteresis"/"diffusive").
+// Returns false (and leaves `out` untouched) on an unknown name.
+[[nodiscard]] bool parse_policy(const std::string& name, PolicyKind& out);
+
+// Balancer / policy tuning knobs. Plumbed through core::Config and, for
+// the bench/tool CLIs, util::Options (see apply_options).
+struct LbConfig {
+  PolicyKind policy = PolicyKind::kNone;
+
+  // Epoch cadence: the balancer samples heat and re-plans this often
+  // while the application is generating accesses (it goes dormant after
+  // a quiet epoch so the event queue can drain).
+  sim::Time epoch_ns = 100'000;
+
+  // EWMA decay per epoch: counters are multiplied by 2^-decay_shift.
+  std::uint32_t decay_shift = 1;
+
+  // Plan-size / throttle limits.
+  std::uint32_t max_moves_per_epoch = 8;
+  std::uint32_t max_inflight = 4;
+
+  // Hysteresis: act only when busiest*100 > idlest*imbalance_pct (plus
+  // the min_heat absolute floor), and never re-move a block within
+  // cooldown_epochs of its last move.
+  std::uint32_t imbalance_pct = 150;
+  std::uint32_t cooldown_epochs = 2;
+
+  // Blocks colder than this (decayed units; kAccessUnit per access) are
+  // never moved, and diffusive ignores neighbor gaps below 2x this.
+  std::uint64_t min_heat = 2 * kAccessUnit;
+
+  // Cost gate: modeled saving per decayed access unit that migration
+  // would localize, weighed against directory-update + invalidation +
+  // transfer cost (see Balancer::profitable).
+  sim::Time benefit_ns_per_access = 600;
+
+  // Node that runs the epoch decision task and issues the migrations.
+  int coordinator = 0;
+
+  // Decision CPU cost charged to the coordinator per epoch.
+  sim::Time decide_base_ns = 400;
+  sim::Time decide_per_block_ns = 25;
+};
+
+// One block of a placed snapshot: heat plus authoritative owner.
+struct PlacedBlock {
+  std::uint64_t key = 0;
+  int owner = 0;
+  std::uint64_t heat = 0;                  // decayed units
+  const std::uint32_t* by_node = nullptr;  // [ranks] per-source units
+  // In-flight migration or exponential backoff: contributes load but
+  // must not be proposed again this epoch.
+  bool frozen = false;
+};
+
+struct Snapshot {
+  int ranks = 0;
+  std::uint64_t epoch = 0;  // balancer epoch index (cooldown bookkeeping)
+  std::vector<PlacedBlock> blocks;       // ordered ascending by key
+  std::vector<std::uint64_t> node_load;  // [ranks] sum of owned heat
+};
+
+struct Move {
+  std::uint64_t key = 0;
+  int dst = 0;
+  std::uint64_t heat = 0;  // the block's heat when planned (cost gate input)
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+  // Append proposed moves, highest priority first. The balancer may
+  // drop entries (cost gate, throttle); only executed moves are
+  // reported back through on_moved.
+  virtual void plan(const Snapshot& snap, const LbConfig& cfg,
+                    std::vector<Move>& out) = 0;
+  // A planned move was actually issued (cooldown bookkeeping).
+  virtual void on_moved(std::uint64_t key, std::uint64_t epoch) {
+    (void)key;
+    (void)epoch;
+  }
+};
+
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind);
+
+}  // namespace nvgas::lb
+
+// CLI plumbing lives next to the knobs it fills.
+namespace nvgas::util {
+class Options;
+}  // namespace nvgas::util
+
+namespace nvgas::lb {
+// Overlay --lb-* flags onto `cfg`: --lb-policy, --lb-epoch-ns,
+// --lb-decay-shift, --lb-max-moves, --lb-max-inflight,
+// --lb-imbalance-pct, --lb-cooldown, --lb-min-heat, --lb-benefit-ns,
+// --lb-coordinator. Aborts on an unknown policy name.
+void apply_options(LbConfig& cfg, const util::Options& opts);
+}  // namespace nvgas::lb

@@ -53,6 +53,13 @@ struct Counters {
   std::uint64_t migrations = 0;
   std::uint64_t migration_bytes = 0;
 
+  // Load balancer (src/lb).
+  std::uint64_t lb_epochs = 0;
+  std::uint64_t lb_migrations = 0;        // issued to the manager
+  std::uint64_t lb_rejected_cost = 0;     // plan entries failing the cost gate
+  std::uint64_t lb_throttled = 0;         // plan entries over max_inflight
+  std::uint64_t lb_bounced = 0;           // completions that missed their dst
+
   void reset() { *this = Counters{}; }
 
   // Stable name→value view for reporting and for test snapshots.
@@ -84,6 +91,11 @@ struct Counters {
         {"gas_atomics", gas_atomics},
         {"migrations", migrations},
         {"migration_bytes", migration_bytes},
+        {"lb_epochs", lb_epochs},
+        {"lb_migrations", lb_migrations},
+        {"lb_rejected_cost", lb_rejected_cost},
+        {"lb_throttled", lb_throttled},
+        {"lb_bounced", lb_bounced},
     };
   }
 };

@@ -84,6 +84,51 @@ std::uint64_t world_hash(nvgas::GasMode mode, std::uint64_t seed) {
   return world.engine().trace_hash();
 }
 
+// Scenario C: a World with the adaptive migration subsystem enabled —
+// a skewed access pattern heats blocks homed on rank 0 until the
+// balancer migrates them mid-run. Balancer epochs, policy decisions and
+// the migrations they issue all land in the trace hash, so any
+// nondeterminism in heat bookkeeping or plan ordering flips the hash.
+std::uint64_t world_lb_hash(nvgas::GasMode mode, nvgas::lb::PolicyKind policy,
+                            std::uint64_t seed) {
+  nvgas::Config cfg = nvgas::Config::with_nodes(8, mode);
+  cfg.seed = seed;
+  cfg.lb.policy = policy;
+  cfg.lb.epoch_ns = 20'000;
+  cfg.lb.decay_shift = 1;
+  cfg.lb.max_moves_per_epoch = 4;
+  cfg.lb.max_inflight = 2;
+  cfg.lb.min_heat = nvgas::lb::kAccessUnit;
+  cfg.lb.benefit_ns_per_access = 50'000;
+  nvgas::World world(cfg);
+  world.run_spmd([&world](nvgas::Context& ctx) -> nvgas::Fiber {
+    const nvgas::Gva table = nvgas::alloc_cyclic(ctx, 8, 512);
+    // Every rank hammers the two blocks after its own, so each block's
+    // heat is dominated by non-owners and the balancer has work to do.
+    for (int round = 0; round < 6; ++round) {
+      for (int k = 1; k <= 2; ++k) {
+        const nvgas::Gva target =
+            table.advanced(((ctx.rank() + k) % 8) * 512, 512);
+        (void)co_await nvgas::fetch_add(ctx, target, 1);
+        co_await nvgas::memput_value<std::uint64_t>(
+            ctx, target.advanced(8, 512),
+            static_cast<std::uint64_t>(ctx.rank() * 100 + round));
+      }
+      co_await ctx.sleep(5'000);
+    }
+    co_await world.coll().barrier(ctx);
+    // Quiesce the balancer before tearing down the allocation: freeing a
+    // block with a migration in flight is a protocol violation.
+    if (ctx.rank() == 0 && world.balancer() != nullptr) {
+      while (world.balancer()->inflight() > 0) co_await ctx.sleep(1'000);
+      world.balancer()->set_enabled(false);
+    }
+    co_await world.coll().barrier(ctx);
+    nvgas::free_alloc(ctx, table);
+  });
+  return world.engine().trace_hash();
+}
+
 struct Scenario {
   const char* name;
   std::uint64_t (*run)(std::uint64_t seed);
@@ -93,11 +138,28 @@ std::uint64_t world_pgas(std::uint64_t s) { return world_hash(nvgas::GasMode::kP
 std::uint64_t world_sw(std::uint64_t s) { return world_hash(nvgas::GasMode::kAgasSw, s); }
 std::uint64_t world_net(std::uint64_t s) { return world_hash(nvgas::GasMode::kAgasNet, s); }
 
+template <nvgas::GasMode Mode, nvgas::lb::PolicyKind Policy>
+std::uint64_t world_lb(std::uint64_t s) {
+  return world_lb_hash(Mode, Policy, s);
+}
+
 constexpr Scenario kScenarios[] = {
     {"engine_wheel", engine_wheel_hash},
     {"world_pgas", world_pgas},
     {"world_agas_sw", world_sw},
     {"world_agas_net", world_net},
+    {"lb_pgas_greedy",
+     world_lb<nvgas::GasMode::kPgas, nvgas::lb::PolicyKind::kGreedy>},
+    {"lb_pgas_hyst",
+     world_lb<nvgas::GasMode::kPgas, nvgas::lb::PolicyKind::kHysteresis>},
+    {"lb_agas_sw_greedy",
+     world_lb<nvgas::GasMode::kAgasSw, nvgas::lb::PolicyKind::kGreedy>},
+    {"lb_agas_sw_hyst",
+     world_lb<nvgas::GasMode::kAgasSw, nvgas::lb::PolicyKind::kHysteresis>},
+    {"lb_agas_net_greedy",
+     world_lb<nvgas::GasMode::kAgasNet, nvgas::lb::PolicyKind::kGreedy>},
+    {"lb_agas_net_hyst",
+     world_lb<nvgas::GasMode::kAgasNet, nvgas::lb::PolicyKind::kHysteresis>},
 };
 
 }  // namespace
