@@ -98,10 +98,10 @@ void AgasNet::send_op(sim::Time depart, int from, int to, Op op) {
   NVGAS_CHECK_MSG(op.hops < kMaxHops, "gva op forwarding loop");
   ++op.hops;
   const std::uint64_t bytes = op.wire_bytes();
-  fabric_->nic(from).send(depart, to, bytes,
-                          [this, to, op = std::move(op)](sim::Time t) mutable {
-                            route(t, to, std::move(op));
-                          });
+  ep(from).raw_send(depart, to, bytes,
+                    [this, to, op = std::move(op)](sim::Time t) mutable {
+                      route(t, to, std::move(op));
+                    });
 }
 
 void AgasNet::route(sim::Time t, int at, Op op) {
@@ -141,7 +141,7 @@ void AgasNet::route(sim::Time t, int at, Op op) {
     const int src = op.src;
     const sim::Time nack_t =
         nic.occupy_command_processor(looked_up, fabric_->params().nic_fwd_ns);
-    fabric_->nic(at).send(
+    ep(at).raw_send(
         nack_t, src, kCtrlBytes, [this, src, op = std::move(op)](sim::Time t2) mutable {
           auto& src_nic = fabric_->nic(src);
           const sim::Time done = src_nic.occupy_command_processor(
@@ -240,7 +240,7 @@ void AgasNet::reply(sim::Time depart, int owner, const net::TlbEntry& entry,
   update.pinned = false;
   update.in_flight = false;
 
-  fabric_->nic(owner).send(
+  ep(owner).raw_send(
       depart, src, bytes,
       [this, src, update, fadd_old, op = std::move(op),
        get_data = std::move(get_data)](sim::Time t) mutable {
@@ -361,7 +361,7 @@ void AgasNet::resolve(sim::TaskCtx& task, int node, gas::Gva addr,
   ++fabric_->counters().nic_tlb_misses;
   const int home = home_of(addr.block_base());
   task.charge(ep(node).post_cost());
-  fabric_->nic(node).send(
+  ep(node).raw_send(
       task.now(), home, kCtrlBytes,
       [this, key, node, home, done = std::move(done)](sim::Time t) mutable {
         auto& hnic = fabric_->nic(home);
@@ -370,7 +370,7 @@ void AgasNet::resolve(sim::TaskCtx& task, int node, gas::Gva addr,
         net::TlbEntry* e = tlb_mut(home).find(key);
         NVGAS_CHECK_MSG(e != nullptr, "resolve of unallocated address");
         const net::TlbEntry entry = *e;
-        hnic.send(looked, node, kAckBytes,
+        ep(home).raw_send(looked, node, kAckBytes,
                   [this, key, node, entry, done = std::move(done)](sim::Time t2) mutable {
                     auto& snic = fabric_->nic(node);
                     const sim::Time done_t = snic.occupy_command_processor(
@@ -397,11 +397,11 @@ void AgasNet::migrate(sim::TaskCtx& task, int node, gas::Gva block, int dst,
   const gas::Gva base = block.block_base();
   const int home = home_of(base);
   task.charge(ep(node).post_cost());
-  fabric_->nic(node).send(task.now(), home, kCtrlBytes,
-                          [this, base, dst, node,
-                           done = std::move(done)](sim::Time t) mutable {
-                            mig_request(t, base, dst, node, std::move(done));
-                          });
+  ep(node).raw_send(task.now(), home, kCtrlBytes,
+                    [this, base, dst, node,
+                     done = std::move(done)](sim::Time t) mutable {
+                      mig_request(t, base, dst, node, std::move(done));
+                    });
 }
 
 void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
@@ -431,17 +431,17 @@ void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
   // The single CPU involvement: the destination allocates backing store
   // (registered memory management is software's job even here).
   const std::uint32_t bsize = heap_->meta_of(block_base).block_size;
-  hnic.send(looked, dst, kCtrlBytes, [this, block_base, dst, home,
-                                      bsize](sim::Time t2) {
+  ep(home).raw_send(looked, dst, kCtrlBytes, [this, block_base, dst, home,
+                                              bsize](sim::Time t2) {
     fabric_->cpu(dst).submit_at(t2, [this, block_base, dst, home,
                                      bsize](sim::TaskCtx& task) {
       task.charge(fabric_->params().cpu_recv_overhead_ns + costs_.alloc_block_ns);
       const sim::Lva lva = heap_->store(dst).allocate(bsize);
       task.charge(ep(dst).post_cost());
-      fabric_->nic(dst).send(task.now(), home, kCtrlBytes,
-                             [this, block_base, lva](sim::Time t3) {
-                               mig_alloc_ok(t3, block_base, lva);
-                             });
+      ep(dst).raw_send(task.now(), home, kCtrlBytes,
+                       [this, block_base, lva](sim::Time t3) {
+                         mig_alloc_ok(t3, block_base, lva);
+                       });
     });
   });
 }
@@ -465,9 +465,9 @@ void AgasNet::mig_alloc_ok(sim::Time t, gas::Gva block_base, sim::Lva dst_lva) {
   auto& hnic = fabric_->nic(home);
   const sim::Time cmd =
       hnic.occupy_command_processor(t, fabric_->params().nic_fwd_ns);
-  hnic.send(cmd, owner, kCtrlBytes, [this, block_base, key, owner, dst, old_lva,
-                                     dst_lva, bsize, next_gen,
-                                     home](sim::Time t2) {
+  ep(home).raw_send(cmd, owner, kCtrlBytes,
+                    [this, block_base, key, owner, dst, old_lva,
+                     dst_lva, bsize, next_gen, home](sim::Time t2) {
     // The old owner stops executing ops for this block the moment the
     // XFER arrives: any op already serialized through the command
     // processor lands in memory before the DMA read below, and any op
@@ -494,7 +494,7 @@ void AgasNet::mig_alloc_ok(sim::Time t, gas::Gva block_base, sim::Lva dst_lva) {
       (void)next_gen;
       heap_->store(owner).release(old_lva, bsize);
 
-      fabric_->nic(owner).send(
+      ep(owner).raw_send(
           read_done, dst, kOpHeaderBytes + bsize,
           [this, block_base, key, dst, dst_lva, bsize, next_gen, home,
            data = std::move(data)](sim::Time t3) mutable {
@@ -516,10 +516,10 @@ void AgasNet::mig_alloc_ok(sim::Time t, gas::Gva block_base, sim::Lva dst_lva) {
                 tlb_mut(dst).erase(key);
                 NVGAS_CHECK(tlb_mut(dst).insert(key, owned));
               }
-              fabric_->nic(dst).send(write_done, home, kCtrlBytes,
-                                     [this, block_base](sim::Time t4) {
-                                       mig_commit(t4, block_base);
-                                     });
+              ep(dst).raw_send(write_done, home, kCtrlBytes,
+                               [this, block_base](sim::Time t4) {
+                                 mig_commit(t4, block_base);
+                               });
             });
           });
     });
@@ -581,8 +581,8 @@ void AgasNet::chain_queued_migration(sim::Time t, gas::Gva block_base) {
 void AgasNet::notify_initiator(sim::Time depart, int home, int initiator,
                                net::OnDone done) {
   if (!done) return;
-  fabric_->nic(home).send(depart, initiator, kCtrlBytes,
-                          [done = std::move(done)](sim::Time t) { done(t); });
+  ep(home).raw_send(depart, initiator, kCtrlBytes,
+                    [done = std::move(done)](sim::Time t) { done(t); });
 }
 
 std::pair<int, sim::Lva> AgasNet::drop_block_state(gas::Gva block_base) {

@@ -8,6 +8,7 @@
 #include "net/config.hpp"
 #include "rt/collectives.hpp"
 #include "rt/costs.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
 
 namespace nvgas {
@@ -20,6 +21,7 @@ struct Config {
   gas::GasCosts gas_costs;         // address-space software costs
   core::AgasNetConfig agas_net;    // contribution's design knobs
   lb::LbConfig lb;                 // adaptive migration subsystem (src/lb)
+  sim::FaultPlan faults;           // wire-fault injection; inert when empty
   gas::GasMode gas_mode = gas::GasMode::kAgasNet;
   std::uint64_t seed = 0x5eed0000;  // workload RNG seed (determinism)
 

@@ -356,6 +356,138 @@ Scenario rebalance_under_put() {
   return s;
 }
 
+// Deterministic frame drops (the first and third frame on every link)
+// under a burst of puts and racing fetch-adds: the end-to-end
+// retransmission layer must deliver every acked op exactly once. A lost
+// put leaves a stale word; a duplicated fetch-add over-counts; and the
+// conservation ledger must still reconcile drops and retransmits at
+// quiescence. Forced drops consume no RNG draw, so every schedule the
+// DFS explores replays the identical fault pattern.
+Scenario drop_under_put() {
+  Scenario s;
+  s.name = "drop-under-put";
+  s.description = "forced frame drops under racing puts and fetch-adds; "
+                  "retransmission must deliver each op exactly once";
+  s.configure = [](Config& cfg) {
+    cfg.faults.forced_drops.push_back({-1, -1, 0});
+    cfg.faults.forced_drops.push_back({-1, -1, 2});
+  };
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      for (int writer = 1; writer <= 3; ++writer) {
+        const auto first = static_cast<std::uint64_t>(writer - 1) * 4;
+        ctx.spawn(writer, [b, first](Context& c) -> Fiber {
+          auto gate = std::make_shared<rt::AndGate>(4);
+          for (std::uint64_t w = first; w < first + 4; ++w) {
+            memput_value_nb<std::uint64_t>(
+                c, b.advanced(static_cast<std::int64_t>(w) * 8, 256),
+                0x400 + w, *gate);
+          }
+          co_await *gate;
+        });
+      }
+      for (int adder = 4; adder <= 5; ++adder) {
+        ctx.spawn(adder, [b](Context& c) -> Fiber {
+          for (int i = 0; i < 2; ++i) {
+            (void)co_await fetch_add(c, b.advanced(15 * 8, 256), 1);
+          }
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>([&world, &obs, block] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      for (std::uint64_t w = 0; w < 12; ++w) {
+        const auto v =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x400 + w) {
+          obs.fail(util::format(
+              "drop-under-put: word %llu reads %llx at owner %d, expected "
+              "%llx (a dropped put was never retransmitted, or acked twice)",
+              static_cast<unsigned long long>(w),
+              static_cast<unsigned long long>(v), owner,
+              static_cast<unsigned long long>(0x400 + w)));
+          return;
+        }
+      }
+      const auto total =
+          world.fabric().mem(owner).load<std::uint64_t>(lva + 15 * 8);
+      if (total != 4) {
+        obs.fail(util::format(
+            "drop-under-put: fetch-add counter reads %llu, expected 4 "
+            "(retransmission duplicated or lost an atomic)",
+            static_cast<unsigned long long>(total)));
+      }
+    });
+  };
+  return s;
+}
+
+// An opening brownout swallows every frame departing in [2, 14) µs on
+// every link, so the writers' puts — and, in the agas modes, much of the
+// protocol's own control traffic — only land as retransmissions, by
+// which time the block has migrated (twice where supported). A
+// retransmitted frame arriving at the old owner must be redirected
+// exactly like a first transmission; a retransmission accepted twice
+// across a generation change would double-apply a put.
+Scenario retransmit_vs_migrate() {
+  Scenario s;
+  s.name = "retransmit-vs-migrate";
+  s.description = "a brownout forces puts to land as retransmissions after "
+                  "the block migrates; late frames must chase the move";
+  s.configure = [](Config& cfg) {
+    cfg.faults.brownouts.push_back({-1, -1, 2'000, 14'000});
+  };
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto block = std::make_shared<Gva>();
+    world.spawn(0, [&world, block](Context& ctx) -> Fiber {
+      *block = alloc_cyclic(ctx, 1, 256);
+      const Gva b = *block;
+      const int n = ctx.ranks();
+      for (int writer = 1; writer <= 4; ++writer) {
+        const auto first = static_cast<std::uint64_t>(writer - 1) * 2;
+        ctx.spawn(writer, [b, first](Context& c) -> Fiber {
+          auto gate = std::make_shared<rt::AndGate>(2);
+          for (std::uint64_t w = first; w < first + 2; ++w) {
+            memput_value_nb<std::uint64_t>(
+                c, b.advanced(static_cast<std::int64_t>(w) * 8, 256),
+                0x500 + w, *gate);
+          }
+          co_await *gate;
+        });
+      }
+      if (world.gas().supports_migration()) {
+        ctx.spawn(5 % n, [b, n](Context& c) -> Fiber {
+          co_await c.sleep(3'000);  // move while the first wave is browned out
+          co_await migrate(c, b, 6 % n);
+          co_await migrate(c, b, 7 % n);
+        });
+      }
+      co_return;
+    });
+    return std::function<void()>([&world, &obs, block] {
+      const auto [owner, lva] = world.gas().owner_of(*block);
+      for (std::uint64_t w = 0; w < 8; ++w) {
+        const auto v =
+            world.fabric().mem(owner).load<std::uint64_t>(lva + w * 8);
+        if (v != 0x500 + w) {
+          obs.fail(util::format(
+              "retransmit-vs-migrate: word %llu reads %llx at final owner "
+              "%d, expected %llx (a retransmitted put lost the moved block)",
+              static_cast<unsigned long long>(w),
+              static_cast<unsigned long long>(v), owner,
+              static_cast<unsigned long long>(0x500 + w)));
+          return;
+        }
+      }
+    });
+  };
+  return s;
+}
+
 // --- single-schedule execution ----------------------------------------------
 
 struct RunOutcome {
@@ -420,6 +552,8 @@ std::vector<Scenario> scenario_library() {
   lib.push_back(stale_cache_storm());
   lib.push_back(fence_chain_signal());
   lib.push_back(rebalance_under_put());
+  lib.push_back(drop_under_put());
+  lib.push_back(retransmit_vs_migrate());
   return lib;
 }
 

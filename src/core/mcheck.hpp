@@ -73,7 +73,8 @@ struct Scenario {
 };
 
 // The built-in scenario library: move-under-put, put-put-race,
-// stale-cache-storm, fence-chain-signal, rebalance-under-put.
+// stale-cache-storm, fence-chain-signal, rebalance-under-put,
+// drop-under-put, retransmit-vs-migrate.
 [[nodiscard]] std::vector<Scenario> scenario_library();
 
 // Explores `sc` under `opt` (baseline first, then delay-bounded DFS).

@@ -13,6 +13,14 @@ World::World(const Config& cfg) : cfg_(cfg) {
   NVGAS_CHECK_MSG(cfg_.machine.nodes <= gas::Gva::kMaxNodes,
                   "node count exceeds the GVA creator field");
   fabric_ = std::make_unique<sim::Fabric>(cfg_.machine);
+  if (cfg_.faults.active()) {
+    // Armed BEFORE any traffic exists. An inactive plan installs nothing:
+    // Fabric::faults() stays null, and the whole fault/retransmission
+    // machinery is structurally absent from the event stream.
+    faults_ = std::make_unique<sim::FaultInjector>(cfg_.faults,
+                                                   fabric_->counters());
+    fabric_->set_faults(faults_.get());
+  }
   endpoints_ = std::make_unique<net::EndpointGroup>(*fabric_, cfg_.net);
   runtime_ = std::make_unique<rt::Runtime>(*fabric_, *endpoints_, cfg_.rt_costs);
   coll_ = std::make_unique<rt::Collectives>(*runtime_, cfg_.coll_algo);

@@ -75,6 +75,7 @@ class World {
  private:
   Config cfg_;
   std::unique_ptr<sim::Fabric> fabric_;
+  std::unique_ptr<sim::FaultInjector> faults_;  // armed only when cfg.faults.active()
   std::unique_ptr<net::EndpointGroup> endpoints_;
   std::unique_ptr<rt::Runtime> runtime_;
   std::unique_ptr<rt::Collectives> coll_;

@@ -259,18 +259,38 @@ void InvariantObserver::audit_structures() {
 }
 
 std::string InvariantObserver::check_quiescent(const sim::Counters& counters) {
+  // Fault-ledger reconciliation: every injected frame is either dropped
+  // (never arrives), delivered once, or — when duplicated — delivered
+  // twice. So at quiescence
+  //   delivered == sent - injected_drops + injected_dups
+  // and the byte analogue; without faults both fault terms are zero and
+  // this reduces to the original exact conservation.
   ++checks_;
-  if (counters.messages_sent != counters.messages_delivered) {
+  const std::uint64_t expect_msgs = counters.messages_sent -
+                                    counters.faults_injected_drops +
+                                    counters.faults_injected_dups;
+  if (expect_msgs != counters.messages_delivered) {
     fail(util::format("message conservation violated: %llu sent, %llu "
-                      "delivered",
+                      "dropped, %llu duplicated, %llu delivered",
                       static_cast<unsigned long long>(counters.messages_sent),
+                      static_cast<unsigned long long>(
+                          counters.faults_injected_drops),
+                      static_cast<unsigned long long>(
+                          counters.faults_injected_dups),
                       static_cast<unsigned long long>(
                           counters.messages_delivered)));
   }
   ++checks_;
-  if (counters.bytes_sent != counters.bytes_delivered) {
-    fail(util::format("byte conservation violated: %llu sent, %llu delivered",
+  const std::uint64_t expect_bytes = counters.bytes_sent -
+                                     counters.faults_dropped_bytes +
+                                     counters.faults_dup_bytes;
+  if (expect_bytes != counters.bytes_delivered) {
+    fail(util::format("byte conservation violated: %llu sent, %llu dropped, "
+                      "%llu duplicated, %llu delivered",
                       static_cast<unsigned long long>(counters.bytes_sent),
+                      static_cast<unsigned long long>(
+                          counters.faults_dropped_bytes),
+                      static_cast<unsigned long long>(counters.faults_dup_bytes),
                       static_cast<unsigned long long>(
                           counters.bytes_delivered)));
   }

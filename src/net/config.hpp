@@ -18,6 +18,17 @@ struct NetConfig {
   std::uint64_t atomic_bytes = 40;
   std::uint64_t parcel_header_bytes = 48;
   std::uint64_t rts_bytes = 40;
+
+  // End-to-end reliability layer (net/reliability), active only when a
+  // fault plan is armed. The sequence/ack header rides every data frame;
+  // retransmit timers start at retransmit_timeout_ns (sized a few RTTs
+  // above the ~2.5 µs put round trip of the default machine) and double
+  // per retry up to the cap. Receivers delay pure acks by ack_delay_ns
+  // hoping to piggyback on reverse traffic instead.
+  std::uint64_t rel_header_bytes = 12;
+  std::uint64_t retransmit_timeout_ns = 12000;
+  std::uint64_t retransmit_backoff_cap_ns = 96000;
+  std::uint64_t ack_delay_ns = 1500;
 };
 
 }  // namespace nvgas::net

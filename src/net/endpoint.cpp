@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "net/reliability.hpp"
 #include "util/assert.hpp"
 
 namespace nvgas::net {
@@ -20,9 +21,10 @@ void Endpoint::put(Time depart, int dst, Lva dst_lva,
   ++f.counters().rma_puts;
   const auto n = static_cast<std::uint64_t>(data.size());
   const int src = node_;
-  f.nic(node_).send(
-      depart, dst, config_.rma_header_bytes + n,
-      [&f, dst, src, dst_lva, data = std::move(data),
+  ReliabilityGroup* rel = rels_;
+  channel_send(
+      f, rel, node_, dst, depart, config_.rma_header_bytes + n,
+      [&f, rel, dst, src, dst_lva, data = std::move(data),
        on_complete = std::move(on_complete),
        on_remote = std::move(on_remote)](Time arrived) mutable {
         auto& nic = f.nic(dst);
@@ -30,7 +32,7 @@ void Endpoint::put(Time depart, int dst, Lva dst_lva,
                           f.params().copy_time(data.size());
         const Time done = nic.occupy_command_processor(arrived, cost);
         // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
-        f.engine().at(done, [&f, dst, src, dst_lva, done,
+        f.engine().at(done, [&f, rel, dst, src, dst_lva, done,
                              data = std::move(data),
                              on_complete = std::move(on_complete),
                              on_remote = std::move(on_remote)]() mutable {
@@ -38,10 +40,10 @@ void Endpoint::put(Time depart, int dst, Lva dst_lva,
           if (on_remote) on_remote(done);  // remote completion ledger
           if (on_complete) {
             const auto ack_bytes = std::uint64_t{16};
-            f.nic(dst).send(done, src, ack_bytes,
-                            [on_complete = std::move(on_complete)](Time t) {
-                              on_complete(t);
-                            });
+            channel_send(f, rel, dst, src, done, ack_bytes,
+                         [on_complete = std::move(on_complete)](Time t) {
+                           on_complete(t);
+                         });
           }
         });
       });
@@ -57,19 +59,20 @@ void Endpoint::get(Time depart, int dst, Lva src_lva, std::size_t len,
   ++f.counters().rma_gets;
   const int src = node_;
   const NetConfig cfg = config_;
-  f.nic(node_).send(
-      depart, dst, cfg.rma_header_bytes,
-      [&f, cfg, dst, src, src_lva, len,
+  ReliabilityGroup* rel = rels_;
+  channel_send(
+      f, rel, node_, dst, depart, cfg.rma_header_bytes,
+      [&f, rel, cfg, dst, src, src_lva, len,
        on_data = std::move(on_data)](Time arrived) mutable {
         auto& nic = f.nic(dst);
         const Time cost = f.params().nic_dma_ns + f.params().copy_time(len);
         const Time done = nic.occupy_command_processor(arrived, cost);
         // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
-        f.engine().at(done, [&f, cfg, dst, src, src_lva, len, done,
+        f.engine().at(done, [&f, rel, cfg, dst, src, src_lva, len, done,
                              on_data = std::move(on_data)]() mutable {
           std::vector<std::byte> payload = f.mem(dst).read_vec(src_lva, len);
-          f.nic(dst).send(
-              done, src, cfg.rma_header_bytes + len,
+          channel_send(
+              f, rel, dst, src, done, cfg.rma_header_bytes + len,
               [&f, src, on_data = std::move(on_data),
                payload = std::move(payload)](Time replied) mutable {
                 auto& src_nic = f.nic(src);
@@ -91,23 +94,24 @@ void Endpoint::get(Time depart, int dst, Lva src_lva, std::size_t len,
 namespace {
 
 template <typename Op>
-void atomic_op(sim::Fabric& f, const NetConfig& cfg, int src, Time depart,
-               int dst, OnU64 on_old, Op op) {
+void atomic_op(sim::Fabric& f, ReliabilityGroup* rel, const NetConfig& cfg,
+               int src, Time depart, int dst, OnU64 on_old, Op op) {
   ++f.counters().rma_atomics;
-  f.nic(src).send(
-      depart, dst, cfg.atomic_bytes,
-      [&f, cfg, dst, src, on_old = std::move(on_old), op](Time arrived) mutable {
+  channel_send(
+      f, rel, src, dst, depart, cfg.atomic_bytes,
+      [&f, rel, cfg, dst, src, on_old = std::move(on_old),
+       op](Time arrived) mutable {
         auto& nic = f.nic(dst);
         const Time done =
             nic.occupy_command_processor(arrived, f.params().nic_atomic_ns);
         // simlint:allow(D5: &f is the Fabric, which owns and outlives the engine)
-        f.engine().at(done, [&f, cfg, dst, src, done,
+        f.engine().at(done, [&f, rel, cfg, dst, src, done,
                              on_old = std::move(on_old), op]() mutable {
           const std::uint64_t old = op(f.mem(dst));
-          f.nic(dst).send(done, src, cfg.atomic_bytes,
-                          [old, on_old = std::move(on_old)](Time t) {
-                            on_old(t, old);
-                          });
+          channel_send(f, rel, dst, src, done, cfg.atomic_bytes,
+                       [old, on_old = std::move(on_old)](Time t) {
+                         on_old(t, old);
+                       });
         });
       });
 }
@@ -116,7 +120,7 @@ void atomic_op(sim::Fabric& f, const NetConfig& cfg, int src, Time depart,
 
 void Endpoint::fetch_add(Time depart, int dst, Lva lva, std::uint64_t operand,
                          OnU64 on_old) {
-  atomic_op(*fabric_, config_, node_, depart, dst, std::move(on_old),
+  atomic_op(*fabric_, rels_, config_, node_, depart, dst, std::move(on_old),
             [lva, operand](sim::Memory& mem) {
               return mem.fetch_add_u64(lva, operand);
             });
@@ -125,7 +129,7 @@ void Endpoint::fetch_add(Time depart, int dst, Lva lva, std::uint64_t operand,
 void Endpoint::compare_swap(Time depart, int dst, Lva lva,
                             std::uint64_t expected, std::uint64_t desired,
                             OnU64 on_old) {
-  atomic_op(*fabric_, config_, node_, depart, dst, std::move(on_old),
+  atomic_op(*fabric_, rels_, config_, node_, depart, dst, std::move(on_old),
             [lva, expected, desired](sim::Memory& mem) {
               return mem.compare_swap_u64(lva, expected, desired);
             });
@@ -160,21 +164,22 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
     ++f.counters().parcels_eager;
     const std::uint64_t bytes = config_.parcel_header_bytes + payload.size();
     const int src = node_;
-    f.nic(node_).send(depart, dst, bytes,
-                      [target, src, payload = std::move(payload),
-                       on_delivered = std::move(on_delivered),
-                       self](Time arrived) mutable {
-                        target->deliver_parcel_to_cpu(arrived, src,
-                                                      std::move(payload));
-                        if (on_delivered) {
-                          auto& f2 = *target->fabric_;
-                          f2.nic(target->node_).send(
-                              arrived, self->node_, 16,
-                              [on_delivered = std::move(on_delivered)](Time t) {
-                                on_delivered(t);
-                              });
-                        }
-                      });
+    channel_send(f, rels_, node_, dst, depart, bytes,
+                 [target, src, payload = std::move(payload),
+                  on_delivered = std::move(on_delivered),
+                  self](Time arrived) mutable {
+                   target->deliver_parcel_to_cpu(arrived, src,
+                                                 std::move(payload));
+                   if (on_delivered) {
+                     auto& f2 = *target->fabric_;
+                     channel_send(
+                         f2, target->rels_, target->node_, self->node_,
+                         arrived, 16,
+                         [on_delivered = std::move(on_delivered)](Time t) {
+                           on_delivered(t);
+                         });
+                   }
+                 });
     return;
   }
 
@@ -189,8 +194,8 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
 
   const int src = node_;
   const NetConfig cfg = config_;
-  f.nic(node_).send(
-      depart, dst, cfg.rts_bytes,
+  channel_send(
+      f, rels_, node_, dst, depart, cfg.rts_bytes,
       [&f, cfg, target, self, src, stage_id, payload_size,
        on_delivered = std::move(on_delivered)](Time arrived) mutable {
         // Target CPU handles the RTS: post the pull.
@@ -202,8 +207,9 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
               ctx.charge(target->post_cost());
               // Pull request back to the source NIC (NIC-level; the source
               // CPU is not disturbed).
-              f.nic(target->node_).send(
-                  ctx.now(), src, cfg.rma_header_bytes,
+              channel_send(
+                  f, target->rels_, target->node_, src, ctx.now(),
+                  cfg.rma_header_bytes,
                   [&f, cfg, target, self, stage_id, payload_size,
                    on_delivered = std::move(on_delivered)](Time at_src) mutable {
                     auto it = self->staged_.find(stage_id);
@@ -220,8 +226,8 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
                     f.engine().at(done, [&f, cfg, target, self, done,
                                          staged_payload = std::move(staged_payload),
                                          payload_size]() mutable {
-                      f.nic(self->node_).send(
-                          done, target->node_,
+                      channel_send(
+                          f, self->rels_, self->node_, target->node_, done,
                           cfg.rma_header_bytes + payload_size,
                           [target, self, staged_payload =
                                              std::move(staged_payload)](Time t) mutable {
@@ -235,17 +241,29 @@ void Endpoint::send_parcel(Time depart, int dst, util::Buffer payload,
 }
 
 // --------------------------------------------------------------------------
+// Raw sends share the verbs' gateway.
+// --------------------------------------------------------------------------
+void Endpoint::raw_send(Time depart, int dst, std::uint64_t bytes,
+                        sim::Nic::Deliver fn) {
+  channel_send(*fabric_, rels_, node_, dst, depart, bytes, std::move(fn));
+}
+
+// --------------------------------------------------------------------------
 // EndpointGroup.
 // --------------------------------------------------------------------------
 EndpointGroup::EndpointGroup(sim::Fabric& fabric, const NetConfig& config)
-    : config_(config) {
+    : config_(config),
+      rels_(std::make_unique<ReliabilityGroup>(fabric, config)) {
   endpoints_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     endpoints_.push_back(std::make_unique<Endpoint>(fabric, n, config_));
   }
   for (auto& ep : endpoints_) {
     ep->peer_ = [this](int node) { return &at(node); };
+    ep->rels_ = rels_.get();
   }
 }
+
+EndpointGroup::~EndpointGroup() = default;
 
 }  // namespace nvgas::net

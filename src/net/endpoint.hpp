@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "util/buffer.hpp"
 
 namespace nvgas::net {
+
+class ReliabilityGroup;  // net/reliability.hpp — retransmission channels
 
 using sim::Lva;
 using sim::Time;
@@ -93,10 +96,10 @@ class Endpoint {
 
   // --- escape hatch for NIC-level protocols --------------------------------
   // The network-managed AGAS builds its GVA ops directly on raw messages so
-  // it can run entirely on NIC command processors (see core/agas_net).
-  void raw_send(Time depart, int dst, std::uint64_t bytes, sim::Nic::Deliver fn) {
-    fabric_->nic(node_).send(depart, dst, bytes, std::move(fn));
-  }
+  // it can run entirely on NIC command processors (see core/agas_net). Like
+  // every other verb, raw sends go through the reliability gateway: a plain
+  // Nic::send without faults armed, a sequenced channel frame with them.
+  void raw_send(Time depart, int dst, std::uint64_t bytes, sim::Nic::Deliver fn);
 
   // CPU cost of posting a descriptor; callers charge this before picking
   // the departure time.
@@ -118,6 +121,10 @@ class Endpoint {
   // simlint:allow(D4: installed once at wiring time, never on the event path)
   std::function<Endpoint*(int)> peer_;
 
+  // Retransmission channels; installed by EndpointGroup, null for
+  // standalone endpoints (which can never have faults armed).
+  ReliabilityGroup* rels_ = nullptr;
+
   // Rendezvous staging: payloads parked at the source until the target
   // pulls them.
   // simlint:allow(D1: keyed find/erase only, never iterated)
@@ -129,13 +136,16 @@ class Endpoint {
 class EndpointGroup {
  public:
   EndpointGroup(sim::Fabric& fabric, const NetConfig& config);
+  ~EndpointGroup();  // out-of-line: ReliabilityGroup is incomplete here
 
   [[nodiscard]] Endpoint& at(int node) { return *endpoints_.at(static_cast<std::size_t>(node)); }
+  [[nodiscard]] ReliabilityGroup& reliability() { return *rels_; }
   [[nodiscard]] int size() const { return static_cast<int>(endpoints_.size()); }
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
  private:
   NetConfig config_;
+  std::unique_ptr<ReliabilityGroup> rels_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
 };
 

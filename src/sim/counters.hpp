@@ -53,6 +53,21 @@ struct Counters {
   std::uint64_t migrations = 0;
   std::uint64_t migration_bytes = 0;
 
+  // Wire-fault injection (sim/faults) and the end-to-end reliability
+  // layer that survives it (net/reliability). The fault ledger is what
+  // conservation checks reconcile against: at quiescence,
+  // delivered = sent - faults_injected_drops + faults_injected_dups
+  // (and the byte analogue), because every injected frame is either
+  // dropped, delivered once, or delivered twice.
+  std::uint64_t faults_injected_drops = 0;
+  std::uint64_t faults_dropped_bytes = 0;
+  std::uint64_t faults_injected_dups = 0;
+  std::uint64_t faults_dup_bytes = 0;
+  std::uint64_t faults_injected_delays = 0;
+  std::uint64_t net_retransmits = 0;    // RTO-fired frame resends
+  std::uint64_t net_dup_discards = 0;   // receiver-side dedup hits
+  std::uint64_t net_acks = 0;           // pure (non-piggybacked) ack frames
+
   // Load balancer (src/lb).
   std::uint64_t lb_epochs = 0;
   std::uint64_t lb_migrations = 0;        // issued to the manager
@@ -91,6 +106,14 @@ struct Counters {
         {"gas_atomics", gas_atomics},
         {"migrations", migrations},
         {"migration_bytes", migration_bytes},
+        {"faults_injected_drops", faults_injected_drops},
+        {"faults_dropped_bytes", faults_dropped_bytes},
+        {"faults_injected_dups", faults_injected_dups},
+        {"faults_dup_bytes", faults_dup_bytes},
+        {"faults_injected_delays", faults_injected_delays},
+        {"net_retransmits", net_retransmits},
+        {"net_dup_discards", net_dup_discards},
+        {"net_acks", net_acks},
         {"lb_epochs", lb_epochs},
         {"lb_migrations", lb_migrations},
         {"lb_rejected_cost", lb_rejected_cost},

@@ -19,7 +19,8 @@
 
 namespace nvgas::sim {
 
-class Explorer;  // sim/explorer.hpp — mcheck schedule-exploration hook
+class Explorer;       // sim/explorer.hpp — mcheck schedule-exploration hook
+class FaultInjector;  // sim/faults.hpp — deterministic wire-fault hook
 
 class Fabric {
  public:
@@ -33,6 +34,13 @@ class Fabric {
   // runs; the Explorer is owned by the mcheck harness, not the Fabric.
   void set_explorer(Explorer* explorer) { explorer_ = explorer; }
   [[nodiscard]] Explorer* explorer() const { return explorer_; }
+
+  // Wire-fault injection: when set, every non-loopback Nic::send asks
+  // the injector whether to drop, duplicate, or extra-delay the frame.
+  // Null in normal runs (the World installs one only when
+  // Config::faults.active()), so the reliable path stays byte-identical.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
 
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const MachineParams& params() const { return params_; }
@@ -70,6 +78,7 @@ class Fabric {
 
   MachineParams params_;
   Explorer* explorer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   Topology topology_;
   Engine engine_;
   Counters counters_;

@@ -56,13 +56,15 @@ class Nic {
  private:
   friend class Fabric;
 
-  // One in-flight message parked on the destination NIC: `when` is the
-  // rx-port arrival time while on the wire, then the rx-done time for
-  // the final delivery event.
+  // One in-flight message parked on the destination NIC. Arrival and
+  // rx-done times travel through the wire-hop/delivery event closures
+  // (not through the slot), so a fault-duplicated frame can be in flight
+  // twice against one slot: `copies` counts outstanding deliveries and
+  // the slot recycles when the last one lands (always 1 without faults).
   struct PendingMsg {
-    Time when = 0;
     std::uint64_t bytes = 0;
     int src = -1;
+    std::uint8_t copies = 1;
     Deliver deliver;
     std::int32_t next_free = -1;
     // Explorer injection index (kNoInjection when no explorer is armed).
@@ -72,11 +74,11 @@ class Nic {
 #endif
   };
 
-  std::int32_t park_msg(Time when, int src, std::uint64_t bytes,
-                        Deliver deliver, std::uint64_t inj);
+  std::int32_t park_msg(int src, std::uint64_t bytes, Deliver deliver,
+                        std::uint64_t inj, std::uint8_t copies);
   // Called on the destination NIC when the message hits its rx port.
-  void arrive(std::int32_t idx);
-  void deliver_parked(std::int32_t idx);
+  void arrive(std::int32_t idx, Time at_port);
+  void deliver_parked(std::int32_t idx, Time done);
 
   Fabric* fabric_;
   int node_;

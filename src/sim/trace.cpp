@@ -24,6 +24,11 @@ std::string Trace::render() const {
                       static_cast<unsigned long long>(r.t), r.node,
                       static_cast<unsigned long long>(r.bytes));
         break;
+      case TraceEvent::kMsgDrop:
+        std::snprintf(line, sizeof line, "%10llu  drop   %3d -> %-3d  %llu B\n",
+                      static_cast<unsigned long long>(r.t), r.node, r.peer,
+                      static_cast<unsigned long long>(r.bytes));
+        break;
     }
     out += line;
   }

@@ -18,6 +18,8 @@ enum class TraceEvent : std::uint8_t {
   kMsgSend = 0,   // node -> peer, bytes on the wire
   kMsgArrive,     // at node, from peer
   kCpuTask,       // task ran on node; bytes field holds the charged ns
+  kMsgDrop,       // node -> peer frame eaten by fault injection (sim/faults);
+                  // only ever recorded when a FaultInjector is armed
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceEvent ev) {
@@ -25,6 +27,7 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::kMsgSend: return "send";
     case TraceEvent::kMsgArrive: return "arrive";
     case TraceEvent::kCpuTask: return "cpu";
+    case TraceEvent::kMsgDrop: return "drop";
   }
   return "?";
 }

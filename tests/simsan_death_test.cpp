@@ -4,9 +4,12 @@
 // tests/CMakeLists.txt); the hooks they poke exist only in that build.
 #include <gtest/gtest.h>
 
+#include "net/config.hpp"
+#include "net/reliability.hpp"
 #include "sim/counters.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
+#include "sim/fabric.hpp"
 #include "util/inline_function.hpp"
 
 #ifndef NVGAS_SIMSAN
@@ -76,6 +79,37 @@ TEST(SimSanDeath, CpuDoubleUnparkAborts) {
   ASSERT_EQ(ran, 1);
   // The parked slot (index 0) was consumed when the task fired.
   EXPECT_DEATH(cpu.simsan_unpark_slot(0), "use-after-recycle");
+}
+
+nvgas::sim::MachineParams tiny_machine() {
+  nvgas::sim::MachineParams p;
+  p.nodes = 2;
+  p.workers_per_node = 1;
+  p.mem_bytes_per_node = 1 << 20;
+  return p;
+}
+
+TEST(SimSanDeath, ReliabilityDoubleCancelRtoAborts) {
+  nvgas::sim::Fabric fabric(tiny_machine());
+  nvgas::net::NetConfig cfg;
+  nvgas::net::ReliabilityGroup rels(fabric, cfg);
+  // Queue a frame but do not run the engine: the window slot is unacked
+  // and its retransmit timer armed. Cancelling that live timer twice is
+  // the lifetime bug the hook reproduces.
+  rels.at(0).send(0, 1, 64, [](nvgas::sim::Time) {});
+  EXPECT_DEATH(rels.at(0).simsan_double_cancel_rto(1), "double cancel");
+}
+
+TEST(SimSanDeath, ReliabilityRetiredSlotInvokeAborts) {
+  nvgas::sim::Fabric fabric(tiny_machine());
+  nvgas::net::NetConfig cfg;
+  nvgas::net::ReliabilityGroup rels(fabric, cfg);
+  int delivered = 0;
+  rels.at(0).send(0, 1, 64, [&delivered](nvgas::sim::Time) { ++delivered; });
+  fabric.engine().run();  // data, delivery, ack: slot 0 retired + poisoned
+  ASSERT_EQ(delivered, 1);
+  ASSERT_EQ(rels.at(0).unacked(), 0u);
+  EXPECT_DEATH(rels.at(0).simsan_invoke_retired_slot(0), "use-after-recycle");
 }
 
 TEST(SimSanDeath, NormalRecyclingStaysSilent) {

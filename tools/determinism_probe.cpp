@@ -50,9 +50,11 @@ std::uint64_t engine_wheel_hash(std::uint64_t seed) {
 
 // Scenario B: a full World integration pass — allocation, one-sided
 // puts/gets, atomics, migration, spanning I/O — on one GAS mode.
-std::uint64_t world_hash(nvgas::GasMode mode, std::uint64_t seed) {
+std::uint64_t world_hash(nvgas::GasMode mode, std::uint64_t seed,
+                         const nvgas::sim::FaultPlan& faults = {}) {
   nvgas::Config cfg = nvgas::Config::with_nodes(8, mode);
   cfg.seed = seed;
+  cfg.faults = faults;  // empty plan: injector never built, trace untouched
   nvgas::World world(cfg);
   world.run_spmd([&world](nvgas::Context& ctx) -> nvgas::Fiber {
     const nvgas::Gva table = nvgas::alloc_cyclic(ctx, 8, 4096);
@@ -129,6 +131,30 @@ std::uint64_t world_lb_hash(nvgas::GasMode mode, nvgas::lb::PolicyKind policy,
   return world.engine().trace_hash();
 }
 
+// Scenario D: the same integration pass over a deliberately unreliable
+// fabric. Fault gate draws, drop/dup decisions, retransmission timers
+// and recovery traffic all land in the trace hash, so nondeterminism in
+// the injector's per-link streams or the reliability layer's timer
+// bookkeeping flips the hash even when payloads still arrive intact.
+nvgas::sim::FaultPlan probe_drop_plan() {
+  nvgas::sim::FaultPlan p;
+  nvgas::sim::FaultRule r;
+  r.drop = 0.05;
+  p.rules.push_back(r);
+  p.brownouts.push_back({-1, -1, 30'000, 45'000});
+  return p;
+}
+
+nvgas::sim::FaultPlan probe_dupdelay_plan() {
+  nvgas::sim::FaultPlan p;
+  nvgas::sim::FaultRule r;
+  r.dup = 0.05;
+  r.delay = 0.25;
+  r.delay_ns = 3'000;
+  p.rules.push_back(r);
+  return p;
+}
+
 struct Scenario {
   const char* name;
   std::uint64_t (*run)(std::uint64_t seed);
@@ -141,6 +167,16 @@ std::uint64_t world_net(std::uint64_t s) { return world_hash(nvgas::GasMode::kAg
 template <nvgas::GasMode Mode, nvgas::lb::PolicyKind Policy>
 std::uint64_t world_lb(std::uint64_t s) {
   return world_lb_hash(Mode, Policy, s);
+}
+
+template <nvgas::GasMode Mode>
+std::uint64_t world_faults_drop(std::uint64_t s) {
+  return world_hash(Mode, s, probe_drop_plan());
+}
+
+template <nvgas::GasMode Mode>
+std::uint64_t world_faults_dupdelay(std::uint64_t s) {
+  return world_hash(Mode, s, probe_dupdelay_plan());
 }
 
 constexpr Scenario kScenarios[] = {
@@ -160,6 +196,13 @@ constexpr Scenario kScenarios[] = {
      world_lb<nvgas::GasMode::kAgasNet, nvgas::lb::PolicyKind::kGreedy>},
     {"lb_agas_net_hyst",
      world_lb<nvgas::GasMode::kAgasNet, nvgas::lb::PolicyKind::kHysteresis>},
+    {"faults_pgas_drop", world_faults_drop<nvgas::GasMode::kPgas>},
+    {"faults_agas_sw_drop", world_faults_drop<nvgas::GasMode::kAgasSw>},
+    {"faults_agas_net_drop", world_faults_drop<nvgas::GasMode::kAgasNet>},
+    {"faults_pgas_dupdelay", world_faults_dupdelay<nvgas::GasMode::kPgas>},
+    {"faults_agas_sw_dupdelay", world_faults_dupdelay<nvgas::GasMode::kAgasSw>},
+    {"faults_agas_net_dupdelay",
+     world_faults_dupdelay<nvgas::GasMode::kAgasNet>},
 };
 
 }  // namespace
