@@ -42,12 +42,18 @@ AgasNet::AgasNet(sim::Fabric& fabric, net::EndpointGroup& endpoints,
   for (int n = 0; n < fabric.nodes(); ++n) {
     tlbs_.push_back(std::make_unique<net::NicTlb>(config_.tlb_capacity));
   }
+  homes_.resize(static_cast<std::size_t>(fabric.nodes()));
 }
 
 gas::Gva AgasNet::alloc(sim::TaskCtx& task, int node, gas::Dist dist,
                         std::uint32_t nblocks, std::uint32_t block_size) {
   const gas::Gva base = GasBase::alloc(task, node, dist, nblocks, block_size);
   const gas::AllocMeta& m = heap_->meta_of(base);
+  auto& engine = fabric_->engine();
+  // Adopted (quiesced setup/teardown) contexts install directly like host
+  // context — every lane is idle, so cross-lane TLB writes are safe.
+  const bool sharded = engine.sharded() && engine.on_shard_context() &&
+                       !engine.on_adopted_context();
   for (std::uint32_t b = 0; b < nblocks; ++b) {
     const gas::Gva block = gas::Gva::make(m.dist, m.creator, m.id, b, 0);
     const int home = home_of(block);
@@ -56,6 +62,17 @@ gas::Gva AgasNet::alloc(sim::TaskCtx& task, int node, gas::Dist dist,
     e.base = heap_->initial_lva(block);
     e.generation = 0;
     e.pinned = true;  // home entries are authoritative and never evict
+    if (sharded && static_cast<std::uint32_t>(home) != engine.current_shard()) {
+      // A remote home's NIC TLB belongs to its own lane; install via
+      // post. The pinned entry always lands before any op can reach the
+      // home — an op needs a full wire flight, the post only a window
+      // boundary (and a GVA is only learnable by message).
+      engine.post(static_cast<std::uint32_t>(home), task.now(),
+                  [this, block, home, e] {
+                    NVGAS_CHECK(tlb_mut(home).insert(block.block_key(), e));
+                  });
+      continue;
+    }
     NVGAS_CHECK(tlb_mut(home).insert(block.block_key(), e));
   }
   return base;
@@ -123,7 +140,7 @@ void AgasNet::route(sim::Time t, int at, Op op) {
     if (e->in_flight) {
       // Block is mid-migration: the home queues the op and re-dispatches
       // it at commit (no CPU anywhere).
-      queued_ops_[op.key].push_back(std::move(op));
+      hstate(op.key).queued_ops[op.key].push_back(std::move(op));
       return;
     }
     // Authoritative forward.
@@ -415,7 +432,7 @@ void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
   net::TlbEntry* e = tlb_mut(home).find(key);
   NVGAS_CHECK_MSG(e != nullptr, "migrate of unallocated address");
   if (e->in_flight) {
-    queued_migs_[key].push_back({dst, initiator, std::move(done)});
+    hstate(key).queued_migs[key].push_back({dst, initiator, std::move(done)});
     return;
   }
   if (e->owner == dst) {
@@ -426,7 +443,7 @@ void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
 
   e->in_flight = true;
   if (observer_ != nullptr) observer_->on_migration_start(key);
-  migrations_[key] = Migration{dst, initiator, 0, std::move(done)};
+  hstate(key).migrations[key] = Migration{dst, initiator, 0, std::move(done)};
 
   // The single CPU involvement: the destination allocates backing store
   // (registered memory management is software's job even here).
@@ -449,7 +466,7 @@ void AgasNet::mig_request(sim::Time t, gas::Gva block_base, int dst,
 void AgasNet::mig_alloc_ok(sim::Time t, gas::Gva block_base, sim::Lva dst_lva) {
   const std::uint64_t key = block_base.block_key();
   const int home = home_of(block_base);
-  Migration& mig = migrations_.at(key);
+  Migration& mig = hstate(key).migrations.at(key);
   mig.dst_lva = dst_lva;
 
   net::TlbEntry* e = tlb_mut(home).find(key);
@@ -533,8 +550,9 @@ void AgasNet::mig_commit(sim::Time t, gas::Gva block_base) {
   const sim::Time committed =
       hnic.occupy_command_processor(t, fabric_->params().nic_tlb_ns);
 
-  Migration mig = std::move(migrations_.at(key));
-  migrations_.erase(key);
+  HomeState& hs = hstate(key);
+  Migration mig = std::move(hs.migrations.at(key));
+  hs.migrations.erase(key);
 
   // Atomic remap of the authoritative entry.
   net::TlbEntry* e = tlb_mut(home).find(key);
@@ -552,10 +570,10 @@ void AgasNet::mig_commit(sim::Time t, gas::Gva block_base) {
   counters.migration_bytes += heap_->meta_of(block_base).block_size;
 
   // Re-dispatch ops that queued during the move (forward to new owner).
-  const auto qit = queued_ops_.find(key);
-  if (qit != queued_ops_.end()) {
+  const auto qit = hs.queued_ops.find(key);
+  if (qit != hs.queued_ops.end()) {
     auto ops = std::move(qit->second);
-    queued_ops_.erase(qit);
+    hs.queued_ops.erase(qit);
     sim::Time depart = committed;
     for (auto& op : ops) {
       depart = hnic.occupy_command_processor(depart, fabric_->params().nic_fwd_ns);
@@ -570,11 +588,12 @@ void AgasNet::mig_commit(sim::Time t, gas::Gva block_base) {
 
 void AgasNet::chain_queued_migration(sim::Time t, gas::Gva block_base) {
   const std::uint64_t key = block_base.block_key();
-  const auto mit = queued_migs_.find(key);
-  if (mit == queued_migs_.end() || mit->second.empty()) return;
+  HomeState& hs = hstate(key);
+  const auto mit = hs.queued_migs.find(key);
+  if (mit == hs.queued_migs.end() || mit->second.empty()) return;
   PendingMigration next = std::move(mit->second.front());
   mit->second.erase(mit->second.begin());
-  if (mit->second.empty()) queued_migs_.erase(mit);
+  if (mit->second.empty()) hs.queued_migs.erase(mit);
   mig_request(t, block_base, next.dst, next.initiator, std::move(next.done));
 }
 
@@ -591,8 +610,9 @@ std::pair<int, sim::Lva> AgasNet::drop_block_state(gas::Gva block_base) {
   net::TlbEntry* e = tlb_mut(home).find(key);
   NVGAS_CHECK(e != nullptr);
   NVGAS_CHECK_MSG(!e->in_flight, "free_alloc while a block is migrating");
-  NVGAS_CHECK_MSG(queued_ops_.count(key) == 0, "free_alloc with queued ops");
-  NVGAS_CHECK_MSG(queued_migs_.count(key) == 0,
+  NVGAS_CHECK_MSG(hstate(key).queued_ops.count(key) == 0,
+                  "free_alloc with queued ops");
+  NVGAS_CHECK_MSG(hstate(key).queued_migs.count(key) == 0,
                   "free_alloc with queued migrations");
   const std::pair<int, sim::Lva> place{e->owner, e->base};
   // Collective free: every NIC drops its entry (pinned or cached).
@@ -657,17 +677,22 @@ std::string AgasNet::audit_translation() const {
 }
 
 std::string AgasNet::audit_quiescent() const {
-  if (!migrations_.empty()) {
-    return util::format("%zu migration(s) never committed", migrations_.size());
+  std::size_t migs = 0, qops = 0, qmigs = 0;
+  for (const HomeState& hs : homes_) {
+    migs += hs.migrations.size();
+    qops += hs.queued_ops.size();
+    qmigs += hs.queued_migs.size();
   }
-  if (!queued_ops_.empty()) {
+  if (migs != 0) {
+    return util::format("%zu migration(s) never committed", migs);
+  }
+  if (qops != 0) {
     return util::format("%zu block(s) still hold ops queued behind a "
                         "migration",
-                        queued_ops_.size());
+                        qops);
   }
-  if (!queued_migs_.empty()) {
-    return util::format("%zu block(s) still hold queued migrations",
-                        queued_migs_.size());
+  if (qmigs != 0) {
+    return util::format("%zu block(s) still hold queued migrations", qmigs);
   }
   const int n_nodes = fabric_->nodes();
   for (int n = 0; n < n_nodes; ++n) {

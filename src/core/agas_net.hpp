@@ -155,15 +155,25 @@ class AgasNet final : public gas::GasBase {
   void notify_initiator(sim::Time depart, int home, int initiator,
                         net::OnDone done);
 
+  // Home-side migration state, partitioned by home node: every access
+  // is keyed by a block whose home coordinates it, so under the sharded
+  // engine each HomeState is touched only from its home's lane (a
+  // single shared map would race on rehash across lanes).
+  struct HomeState {
+    // simlint:allow(D1: keyed find/erase only, never iterated)
+    std::unordered_map<std::uint64_t, Migration> migrations;
+    // simlint:allow(D1: vector extracted per key; the map is never iterated)
+    std::unordered_map<std::uint64_t, std::vector<Op>> queued_ops;
+    // simlint:allow(D1: vector extracted per key; the map is never iterated)
+    std::unordered_map<std::uint64_t, std::vector<PendingMigration>> queued_migs;
+  };
+  [[nodiscard]] HomeState& hstate(std::uint64_t key) {
+    return homes_.at(static_cast<std::size_t>(home_of(base_of_key(key))));
+  }
+
   AgasNetConfig config_;
   std::vector<std::unique_ptr<net::NicTlb>> tlbs_;
-  // Home-side migration state.
-  // simlint:allow(D1: keyed find/erase only, never iterated)
-  std::unordered_map<std::uint64_t, Migration> migrations_;
-  // simlint:allow(D1: vector extracted per key; the map is never iterated)
-  std::unordered_map<std::uint64_t, std::vector<Op>> queued_ops_;
-  // simlint:allow(D1: vector extracted per key; the map is never iterated)
-  std::unordered_map<std::uint64_t, std::vector<PendingMigration>> queued_migs_;
+  std::vector<HomeState> homes_;
 };
 
 }  // namespace nvgas::core

@@ -17,8 +17,7 @@ World::World(const Config& cfg) : cfg_(cfg) {
     // Armed BEFORE any traffic exists. An inactive plan installs nothing:
     // Fabric::faults() stays null, and the whole fault/retransmission
     // machinery is structurally absent from the event stream.
-    faults_ = std::make_unique<sim::FaultInjector>(cfg_.faults,
-                                                   fabric_->counters());
+    faults_ = std::make_unique<sim::FaultInjector>(cfg_.faults, *fabric_);
     fabric_->set_faults(faults_.get());
   }
   endpoints_ = std::make_unique<net::EndpointGroup>(*fabric_, cfg_.net);
@@ -65,9 +64,9 @@ World::World(const Config& cfg) : cfg_(cfg) {
         const auto action = r.get<rt::ActionId>();
         util::Buffer rest;
         rest.append_raw(r.rest());
-        sim::TaskCtx* task = runtime_->current_task();
-        NVGAS_CHECK(task != nullptr);
         const int node = c.rank();
+        sim::TaskCtx* task = runtime_->current_task(node);
+        NVGAS_CHECK(task != nullptr);
         gas_->resolve(
             *task, node, gva,
             [this, node, src, gva, action,
@@ -120,7 +119,8 @@ std::string World::report() const {
 
   util::Table globals("global counters (nonzero)");
   globals.columns({"counter", "value"});
-  for (const auto& [name, value] : self->counters().items()) {
+  const sim::Counters totals = self->fabric().counters_total();
+  for (const auto& [name, value] : totals.items()) {
     if (value != 0) {
       globals.cell(name).cell(value).end_row();
     }

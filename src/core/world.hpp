@@ -43,6 +43,11 @@ class World {
   [[nodiscard]] sim::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] sim::Engine& engine() { return fabric_->engine(); }
   [[nodiscard]] sim::Counters& counters() { return fabric_->counters(); }
+  // Aggregate across engine shards, deterministic at quiescence (equals
+  // counters() on the classic engine).
+  [[nodiscard]] sim::Counters counters_total() const {
+    return fabric_->counters_total();
+  }
   [[nodiscard]] net::EndpointGroup& endpoints() { return *endpoints_; }
   [[nodiscard]] rt::Runtime& runtime() { return *runtime_; }
   [[nodiscard]] rt::Collectives& coll() { return *coll_; }
@@ -95,7 +100,7 @@ class World {
 namespace detail {
 
 inline sim::TaskCtx& task_of(Context& ctx) {
-  sim::TaskCtx* task = ctx.runtime().current_task();
+  sim::TaskCtx* task = ctx.runtime().current_task(ctx.rank());
   NVGAS_CHECK_MSG(task != nullptr, "GAS op outside a fiber segment");
   return *task;
 }

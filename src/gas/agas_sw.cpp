@@ -28,9 +28,26 @@ Gva AgasSw::alloc(sim::TaskCtx& task, int node, Dist dist,
   // Install the authoritative directory entries at each block's home as
   // part of the allocation collective.
   const AllocMeta& m = heap_->meta_of(base);
+  auto& engine = fabric_->engine();
+  // Adopted (quiesced setup/teardown) contexts install directly like host
+  // context: every lane is idle, and observers may read the directory
+  // before the engine runs again.
+  const bool sharded = engine.sharded() && engine.on_shard_context() &&
+                       !engine.on_adopted_context();
   for (std::uint32_t b = 0; b < nblocks; ++b) {
     const Gva block = Gva::make(m.dist, m.creator, m.id, b, 0);
     const int home = home_of_key(block);
+    if (sharded && static_cast<std::uint32_t>(home) != engine.current_shard()) {
+      // A remote home's directory belongs to its own lane; install via
+      // post. The entry always lands before any resolve request for it
+      // can arrive — a request needs a full wire flight, the post only
+      // a window boundary (and a GVA is only learnable by message).
+      engine.post(static_cast<std::uint32_t>(home), task.now(),
+                  [this, block, home, lva = heap_->initial_lva(block)] {
+                    st(home).dir.insert(block.block_key(), home, lva);
+                  });
+      continue;
+    }
     st(home).dir.insert(block.block_key(), home, heap_->initial_lva(block));
   }
   return base;

@@ -45,7 +45,22 @@ void GasBase::free_alloc(sim::TaskCtx& task, int node, Gva base) {
       1, meta.nblocks / static_cast<std::uint32_t>(ranks()));
   task.charge(2 * p.wire_latency_ns + 2 * p.cpu_send_overhead_ns +
               blocks_here * costs_.alloc_block_ns);
+  auto& engine = fabric_->engine();
+  if (engine.sharded()) {
+    // drop_block_state walks authoritative translation state across ALL
+    // nodes' lanes, so under the sharded engine the teardown runs as a
+    // barrier event once every lane has passed the free's issue time.
+    // The collective free contract (no accesses in flight) makes the
+    // deferral invisible to the program.
+    engine.at_global(task.now(), static_cast<std::uint32_t>(node),
+                     [this, meta] { release_blocks(meta); });
+    return;
+  }
   (void)node;
+  release_blocks(meta);
+}
+
+void GasBase::release_blocks(const AllocMeta& meta) {
   for (std::uint32_t b = 0; b < meta.nblocks; ++b) {
     const Gva block = Gva::make(meta.dist, meta.creator, meta.id, b, 0);
     const auto [owner, lva] = drop_block_state(block);

@@ -8,6 +8,9 @@ GlobalHeap::GlobalHeap(sim::Fabric& fabric) : fabric_(&fabric) {
     stores_.push_back(
         std::make_unique<BlockStore>(fabric.params().mem_bytes_per_node));
   }
+  if (fabric.engine().sharded()) {
+    alloc_counts_.assign(static_cast<std::size_t>(fabric.nodes()), 0);
+  }
 }
 
 Gva GlobalHeap::alloc(Dist dist, int creator, std::uint32_t nblocks,
@@ -15,10 +18,23 @@ Gva GlobalHeap::alloc(Dist dist, int creator, std::uint32_t nblocks,
   NVGAS_CHECK(nblocks >= 1 && nblocks <= Gva::kMaxBlocks);
   NVGAS_CHECK(block_size >= 1 && block_size <= Gva::kMaxBlockSize);
   NVGAS_CHECK(creator >= 0 && creator < fabric_->nodes());
-  NVGAS_CHECK_MSG(next_alloc_id_ <= Gva::kMaxAllocs, "allocation ids exhausted");
 
+  std::lock_guard<std::mutex> lock(mu_);
   AllocMeta meta;
-  meta.id = next_alloc_id_++;
+  if (!alloc_counts_.empty()) {
+    // Partitioned ids: the k-th allocation by `creator` always gets the
+    // same id regardless of how lanes interleave across host threads.
+    const std::uint64_t k = alloc_counts_[static_cast<std::size_t>(creator)]++;
+    const std::uint64_t id =
+        k * static_cast<std::uint64_t>(fabric_->nodes()) +
+        static_cast<std::uint64_t>(creator) + 1;
+    NVGAS_CHECK_MSG(id <= Gva::kMaxAllocs, "allocation ids exhausted");
+    meta.id = static_cast<std::uint32_t>(id);
+  } else {
+    NVGAS_CHECK_MSG(next_alloc_id_ <= Gva::kMaxAllocs,
+                    "allocation ids exhausted");
+    meta.id = next_alloc_id_++;
+  }
   meta.dist = dist;
   meta.creator = creator;
   meta.nblocks = nblocks;
@@ -35,6 +51,7 @@ Gva GlobalHeap::alloc(Dist dist, int creator, std::uint32_t nblocks,
 }
 
 void GlobalHeap::release_meta(std::uint32_t alloc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = metas_.find(alloc_id);
   NVGAS_CHECK_MSG(it != metas_.end(), "release of unknown allocation");
   const AllocMeta meta = it->second;
@@ -46,12 +63,17 @@ void GlobalHeap::release_meta(std::uint32_t alloc_id) {
 }
 
 const AllocMeta& GlobalHeap::meta(std::uint32_t alloc_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = metas_.find(alloc_id);
   NVGAS_CHECK_MSG(it != metas_.end(), "unknown allocation id");
+  // References into an unordered_map survive rehash; erasure only
+  // happens in release_meta, whose collective contract forbids
+  // concurrent access to the allocation being freed.
   return it->second;
 }
 
 bool GlobalHeap::contains(Gva gva) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = metas_.find(gva.alloc_id());
   if (it == metas_.end()) return false;
   const AllocMeta& m = it->second;
@@ -59,6 +81,7 @@ bool GlobalHeap::contains(Gva gva) const {
 }
 
 sim::Lva GlobalHeap::initial_lva(Gva block_base) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = initial_.find(block_base.block_key());
   NVGAS_CHECK_MSG(it != initial_.end(), "no initial placement for block");
   return it->second;

@@ -130,7 +130,7 @@ void Reliability::on_data(sim::Time t, int src, std::uint64_t seq,
     // a reverse frame that cancels it and piggybacks instead.
     schedule_ack(t, src);
     for (std::uint64_t s = old_floor + 1; s <= new_floor; ++s) {
-      group_->at(src).deliver_payload(t, node_, s);
+      group_->at(src).consume_payload(t, node_, s);
     }
   } else {
     rx.buffered.insert(seq);
@@ -153,6 +153,31 @@ void Reliability::deliver_payload(sim::Time t, int dst, std::uint64_t seq) {
   // grow slots_, invalidating `s`. Nothing touches the slot afterwards.
   sim::Nic::Deliver payload = std::move(s.payload);
   payload(t);
+}
+
+void Reliability::consume_payload(sim::Time t, int consumer, std::uint64_t seq) {
+  auto& engine = fabric_->engine();
+  if (!engine.sharded()) {
+    deliver_payload(t, consumer, seq);
+    return;
+  }
+  // Hop 1: consume on the sender's own lane (this object's node).
+  engine.post(static_cast<std::uint32_t>(node_), t, [this, consumer, seq] {
+    TxChannel& ch = tx_[static_cast<std::size_t>(consumer)];
+    const auto it = ch.unacked.find(seq);
+    NVGAS_CHECK_MSG(it != ch.unacked.end(),
+                    "payload consumed for a retired seq");
+    TxSlot& s = slots_[static_cast<std::size_t>(it->second)];
+    NVGAS_CHECK_MSG(!s.delivered, "payload consumed twice");
+    s.delivered = true;
+    // Hop 2: run the upper-layer delivery back on the consumer's lane,
+    // at that lane's then-current time.
+    auto& e = fabric_->engine();
+    e.post(static_cast<std::uint32_t>(consumer), e.now(),
+           [f = fabric_, payload = std::move(s.payload)]() mutable {
+             payload(f->engine().now());
+           });
+  });
 }
 
 void Reliability::process_ack(int dst, std::uint64_t acked) {

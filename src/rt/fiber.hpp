@@ -26,8 +26,8 @@ namespace detail {
 Runtime& runtime_of(Context& ctx);
 int node_of(Context& ctx);
 // Defined in runtime.cpp: closure-retention handshake (see below).
-std::uint64_t take_pending_spawn_slot(Runtime& rt);
-void fiber_finished(Runtime& rt, std::uint64_t slot);
+std::uint64_t take_pending_spawn_slot(Runtime& rt, int node);
+void fiber_finished(Runtime& rt, int node, std::uint64_t slot);
 }  // namespace detail
 
 class Fiber {
@@ -48,14 +48,14 @@ class Fiber {
     template <typename... Rest>
     explicit promise_type(Context& ctx, Rest&&...)
         : runtime(&detail::runtime_of(ctx)), node(detail::node_of(ctx)) {
-      spawn_slot = detail::take_pending_spawn_slot(*runtime);
+      spawn_slot = detail::take_pending_spawn_slot(*runtime, node);
     }
 
     // Lambdas / member functions: the object parameter comes first.
     template <typename Obj, typename... Rest>
     promise_type(Obj&&, Context& ctx, Rest&&...)
         : runtime(&detail::runtime_of(ctx)), node(detail::node_of(ctx)) {
-      spawn_slot = detail::take_pending_spawn_slot(*runtime);
+      spawn_slot = detail::take_pending_spawn_slot(*runtime, node);
     }
 
     promise_type(const promise_type&) = delete;
@@ -63,7 +63,7 @@ class Fiber {
 
     ~promise_type() {
       if (runtime != nullptr && spawn_slot != 0) {
-        detail::fiber_finished(*runtime, spawn_slot);
+        detail::fiber_finished(*runtime, node, spawn_slot);
       }
     }
 

@@ -71,38 +71,62 @@ class Runtime {
 
   // --- fiber scheduling internals ----------------------------------------
   void resume_fiber_at(int node, Fiber::Handle h, sim::Time not_before);
-  [[nodiscard]] sim::TaskCtx* current_task() const { return current_; }
+  // The TaskCtx currently executing on `node` (null outside a task
+  // segment). Per-node so concurrent shards never share a slot.
+  [[nodiscard]] sim::TaskCtx* current_task(int node) const {
+    return states_.at(static_cast<std::size_t>(node)).current;
+  }
 
   // Closure-retention handshake with Fiber::promise_type (internal; see
   // the promise docs in fiber.hpp). unique_ptr keeps each std::function at
   // a stable address across map growth; reclamation is deferred to an
-  // engine event so a synchronously completing fiber never destroys the
-  // closure it is running in.
-  std::uint64_t take_pending_spawn_slot() {
-    const auto slot = pending_spawn_slot_;
-    pending_spawn_slot_ = 0;
+  // engine event on the fiber's own lane so a synchronously completing
+  // fiber never destroys the closure it is running in.
+  std::uint64_t take_pending_spawn_slot(int node) {
+    auto& st = states_.at(static_cast<std::size_t>(node));
+    const auto slot = st.pending_spawn_slot;
+    st.pending_spawn_slot = 0;
     return slot;
   }
-  void fiber_finished(std::uint64_t slot);
+  void fiber_finished(int node, std::uint64_t slot);
 
   // Spawned fibers that have not yet completed. Zero after a full drain
   // means every spawned fiber ran to completion (deadlock detector).
-  [[nodiscard]] std::size_t live_fibers() const { return spawned_.size(); }
+  // Host-context only: sums per-node state across all lanes.
+  [[nodiscard]] std::size_t live_fibers() const {
+    std::size_t n = 0;
+    for (const NodeState& st : states_) n += st.spawned.size();
+    return n;
+  }
 
  private:
   friend class Context;
   friend class CurrentTaskScope;
 
-  void set_current(sim::TaskCtx* task) { current_ = task; }
+  void set_current(int node, sim::TaskCtx* task) {
+    states_.at(static_cast<std::size_t>(node)).current = task;
+  }
   void dispatch(int node, sim::TaskCtx& tctx, int src, util::Buffer payload);
+
+  // True when the caller is executing on a shard other than `node`'s:
+  // the operation must hop to `node`'s lane via Engine::post before it
+  // may touch that node's state. Always false on the classic engine.
+  [[nodiscard]] bool needs_route(int node) const;
 
   struct NodeState {
     std::unique_ptr<Context> ctx;
     // simlint:allow(D1: keyed by LCO id, find/erase only, never iterated)
     std::unordered_map<std::uint64_t, LcoBase*> lcos;
     std::uint64_t next_lco_id = 1;
+    // Fiber machinery, touched only from this node's lane.
+    sim::TaskCtx* current = nullptr;
+    // simlint:allow(D1: keyed by spawn slot, find/erase only, never iterated)
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<std::function<Fiber(Context&)>>>
+        spawned;
+    std::uint64_t next_spawn_slot = 1;
+    std::uint64_t pending_spawn_slot = 0;
   };
-
 
   sim::Fabric* fabric_;
   net::EndpointGroup* endpoints_;
@@ -111,16 +135,11 @@ class Runtime {
   std::vector<NodeState> states_;
   ActionId lco_set_action_ = kInvalidAction;
   ActionId apply_action_ = kInvalidAction;
-  sim::TaskCtx* current_ = nullptr;
-  // simlint:allow(D1: keyed by spawn slot, find/erase only, never iterated)
-  std::unordered_map<std::uint64_t,
-                     std::unique_ptr<std::function<Fiber(Context&)>>>
-      spawned_;
-  std::uint64_t next_spawn_slot_ = 1;
-  std::uint64_t pending_spawn_slot_ = 0;
 };
 
-// Install `task` as the current TaskCtx for the duration of a scope.
+// Install `task` as the current TaskCtx of its node for the duration of
+// a scope (the node comes from the task's CPU, so the slot is always the
+// one the executing lane owns).
 class CurrentTaskScope {
  public:
   CurrentTaskScope(Runtime& rt, sim::TaskCtx& task);
@@ -130,6 +149,7 @@ class CurrentTaskScope {
 
  private:
   Runtime& rt_;
+  int node_;
   sim::TaskCtx* prev_;
 };
 

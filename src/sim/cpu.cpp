@@ -18,6 +18,17 @@ std::size_t Cpu::earliest_worker() const {
 
 void Cpu::submit(Task fn) {
   queue_.push_back(std::move(fn));
+  if (engine_.sharded() &&
+      (!engine_.on_shard_context() || engine_.on_adopted_context())) {
+    // Host-context submission (run_spmd setup / quiesced teardown), or a
+    // nested submit from another node's adopted context: run the task in
+    // this node's lane context so every event it schedules — NIC
+    // loopbacks, RTO timers, completion wakeups — lands on the lane that
+    // owns this node's state, not the host fallback lane.
+    Engine::ShardContext scope(engine_, lane());
+    pump();
+    return;
+  }
   pump();
 }
 
@@ -63,7 +74,7 @@ void Cpu::submit_at(Time t, Task fn) {
     return;
   }
   const std::int32_t idx = park_delayed(std::move(fn));
-  engine_.at(t, [this, idx] { submit(unpark_delayed(idx)); });
+  engine_.at_shard(lane(), t, [this, idx] { submit(unpark_delayed(idx)); });
 }
 
 void Cpu::pump() {
@@ -84,7 +95,7 @@ void Cpu::pump() {
       if (!wake_scheduled_ || wake_at_ > start) {
         wake_scheduled_ = true;
         wake_at_ = start;
-        engine_.at(start, [this] {
+        engine_.at_shard(lane(), start, [this] {
           wake_scheduled_ = false;
           pump();
         });

@@ -1,5 +1,7 @@
 #include "sim/faults.hpp"
 
+#include "sim/fabric.hpp"
+
 namespace nvgas::sim {
 
 bool FaultPlan::active() const {
@@ -14,8 +16,23 @@ bool FaultPlan::active() const {
   return !forced_drops.empty();
 }
 
-FaultInjector::FaultInjector(const FaultPlan& plan, Counters& counters)
-    : plan_(plan), counters_(&counters) {}
+FaultInjector::FaultInjector(const FaultPlan& plan, Fabric& fabric)
+    : plan_(plan), fabric_(&fabric) {
+  if (fabric.engine().sharded()) {
+    // Seed every link stream up front: link() must never rehash the map
+    // mid-run under the sharded engine (sends on different lanes would
+    // race the insertion). Each stream is thereafter touched only by its
+    // source node's lane.
+    const int n = fabric.nodes();
+    links_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        (void)link(src, dst);
+      }
+    }
+  }
+}
 
 FaultInjector::LinkState& FaultInjector::link(int src, int dst) {
   const std::uint64_t key = link_key(src, dst);
@@ -42,6 +59,7 @@ const FaultRule* FaultInjector::rule_for(int src, int dst) const {
 FaultDecision FaultInjector::on_injection(int src, int dst, Time depart,
                                           std::uint64_t bytes) {
   FaultDecision d;
+  Counters& counters = fabric_->counters();
   LinkState& ls = link(src, dst);
   const std::uint64_t frame = ls.frames++;
 
@@ -60,8 +78,8 @@ FaultDecision FaultInjector::on_injection(int src, int dst, Time depart,
     }
   }
   if (d.drop) {
-    ++counters_->faults_injected_drops;
-    counters_->faults_dropped_bytes += bytes;
+    ++counters.faults_injected_drops;
+    counters.faults_dropped_bytes += bytes;
     return d;
   }
 
@@ -75,18 +93,18 @@ FaultDecision FaultInjector::on_injection(int src, int dst, Time depart,
   const bool dup = r->dup > 0.0 && ls.rng.chance(r->dup);
   const bool delay = r->delay > 0.0 && r->delay_ns > 0 && ls.rng.chance(r->delay);
   if (drop) {
-    ++counters_->faults_injected_drops;
-    counters_->faults_dropped_bytes += bytes;
+    ++counters.faults_injected_drops;
+    counters.faults_dropped_bytes += bytes;
     d.drop = true;
     return d;
   }
   if (dup) {
-    ++counters_->faults_injected_dups;
-    counters_->faults_dup_bytes += bytes;
+    ++counters.faults_injected_dups;
+    counters.faults_dup_bytes += bytes;
     d.duplicate = true;
   }
   if (delay) {
-    ++counters_->faults_injected_delays;
+    ++counters.faults_injected_delays;
     d.extra_delay = 1 + ls.rng.below(r->delay_ns);
   }
   if (d.duplicate && r->delay_ns > 0) {

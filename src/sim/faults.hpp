@@ -31,6 +31,8 @@
 
 namespace nvgas::sim {
 
+class Fabric;
+
 // One probabilistic fault rule. src/dst of -1 match any node; the first
 // matching rule in FaultPlan::rules wins, so specific links can be
 // listed before a catch-all.
@@ -84,7 +86,12 @@ struct FaultDecision {
 
 class FaultInjector {
  public:
-  FaultInjector(const FaultPlan& plan, Counters& counters);
+  // Counters route through the fabric's current-shard block (per-source
+  // attribution under the sharded engine; the single global block
+  // otherwise). With the sharded engine, every (src, dst) link stream is
+  // pre-seeded here so on_injection never mutates the shared map from a
+  // lane — each link's state is then touched only by its source's lane.
+  FaultInjector(const FaultPlan& plan, Fabric& fabric);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -111,7 +118,7 @@ class FaultInjector {
   [[nodiscard]] const FaultRule* rule_for(int src, int dst) const;
 
   FaultPlan plan_;
-  Counters* counters_;
+  Fabric* fabric_;
   // simlint:allow(D1: keyed access only, never iterated)
   std::unordered_map<std::uint64_t, LinkState> links_;
 };

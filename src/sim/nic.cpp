@@ -77,6 +77,25 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
 
   Nic& dst_nic = fabric_->nic(dst);
   const std::uint8_t copies = fd.duplicate ? 2 : 1;
+  if (engine.sharded() && dst != node_) {
+    // Cross-shard wire hop: parking and rx bookkeeping belong to the
+    // destination's lane, so the whole message rides one post() at the
+    // earliest arrival time and the receive side re-schedules the exact
+    // per-copy arrivals locally. post() is never later than the wire
+    // (boundary <= send time + lookahead <= arrival), so timing is
+    // unchanged; the closure carries the Deliver and takes the
+    // InlineFunction heap-fallback path.
+    const Time a0 = at_dst_port + fd.extra_delay;
+    const Time a1 = fd.duplicate ? at_dst_port + fd.dup_extra_delay : a0;
+    // simlint:allow(D5: &dst_nic lives in the Fabric, which outlives the engine)
+    engine.post(static_cast<std::uint32_t>(dst), std::min(a0, a1),
+                [&dst_nic, src = node_, bytes, inj, copies, a0, a1,
+                 d = std::move(deliver)]() mutable {
+                  dst_nic.receive_remote(src, bytes, std::move(d), inj,
+                                         copies, a0, a1);
+                });
+    return;
+  }
   const std::int32_t idx =
       dst_nic.park_msg(node_, bytes, std::move(deliver), inj, copies);
   const Time arrive0 = at_dst_port + fd.extra_delay;
@@ -88,6 +107,17 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
     // its own rx-port occupancy and is delivered (and counted) again.
     // simlint:allow(D5: &dst_nic lives in the Fabric, which outlives the engine)
     engine.at(arrive1, [&dst_nic, idx, arrive1] { dst_nic.arrive(idx, arrive1); });
+  }
+}
+
+void Nic::receive_remote(int src, std::uint64_t bytes, Deliver deliver,
+                         std::uint64_t inj, std::uint8_t copies, Time arrive0,
+                         Time arrive1) {
+  auto& engine = fabric_->engine();
+  const std::int32_t idx = park_msg(src, bytes, std::move(deliver), inj, copies);
+  engine.at(arrive0, [this, idx, arrive0] { arrive(idx, arrive0); });
+  if (copies > 1) {
+    engine.at(arrive1, [this, idx, arrive1] { arrive(idx, arrive1); });
   }
 }
 

@@ -1,0 +1,186 @@
+// Conservative-parallel (sharded) engine regression tests.
+//
+// The sharded engine's contract is thread-count independence: for a
+// fixed program, the trace hash, the event count and every Counters
+// total must be byte-identical whether lane windows execute on 1, 2 or
+// 8 host threads (tools/determinism_probe sweeps the full scenario
+// matrix; these tests pin the contract at unit granularity, including
+// the per-shard counter blocks summed by Fabric::counters_total).
+//
+// Built only under -DNVGAS_PARALLEL=ON (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nvgas.hpp"
+
+namespace nvgas {
+namespace {
+
+using sim::Time;
+
+// --- raw engine -----------------------------------------------------------
+
+std::uint64_t splitmix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct ChainState {
+  sim::Engine* e;
+  std::uint32_t lanes;
+  void hop(std::uint32_t lane, std::uint64_t rng, Time t, int depth) {
+    if (depth == 0) return;
+    const std::uint64_t r = splitmix(rng);
+    const auto dst =
+        (lane + 1 + static_cast<std::uint32_t>(r % (lanes - 1))) % lanes;
+    const Time nt = t + 1 + ((r >> 32) % 1024);
+    e->post(dst, nt, [this, dst, r, nt, depth] { hop(dst, r, nt, depth - 1); });
+  }
+};
+
+struct EngineRun {
+  std::uint64_t hash;
+  std::uint64_t events;
+};
+
+EngineRun run_chains(int threads) {
+  sim::Engine e;
+  constexpr std::uint32_t kLanes = 6;
+  e.configure_shards(kLanes, /*lookahead=*/300, threads);
+  ChainState c{&e, kLanes};
+  for (std::uint32_t k = 0; k < kLanes; ++k) {
+    e.at_shard(k, k + 1, [&c, k] { c.hop(k, 0xabcdULL * (k + 1), k + 1, 40); });
+  }
+  e.run();
+  return {e.trace_hash(), e.events_executed()};
+}
+
+TEST(ShardedEngine, HashAndEventCountThreadInvariant) {
+  const EngineRun serial = run_chains(1);
+  EXPECT_GT(serial.events, 6u * 40u);
+  for (const int t : {2, 3, 6, 8}) {
+    const EngineRun r = run_chains(t);
+    EXPECT_EQ(r.hash, serial.hash) << "threads=" << t;
+    EXPECT_EQ(r.events, serial.events) << "threads=" << t;
+  }
+}
+
+TEST(ShardedEngine, PostDegradesToAtWhenUnsharded) {
+  sim::Engine e;
+  std::vector<int> order;
+  e.post(0, 20, [&] { order.push_back(2); });
+  e.post(0, 10, [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ShardedEngine, AtGlobalRunsAfterEveryLaneReachesTime) {
+  sim::Engine e;
+  e.configure_shards(4, /*lookahead=*/100, 2);
+  Time barrier_seen = 0;
+  bool late_ran = false;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    e.at_shard(k, 50 * (k + 1), [] {});
+  }
+  e.at_global(120, /*home=*/1, [&] { barrier_seen = e.now(); });
+  e.at_shard(3, 500, [&] { late_ran = true; });
+  e.run();
+  EXPECT_TRUE(late_ran);
+  EXPECT_GE(barrier_seen, 120u);
+}
+
+// --- full stack: counters -------------------------------------------------
+
+struct WorldRun {
+  std::uint64_t hash;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+WorldRun run_world(GasMode mode, int threads) {
+  Config cfg = Config::with_nodes(6, mode);
+  cfg.seed = 0x7357;
+  cfg.machine.threads = threads;
+  World world(cfg);
+  world.run_spmd([&world](Context& ctx) -> Fiber {
+    const Gva table = alloc_cyclic(ctx, 6, 1024);
+    for (int b = 0; b < 6; ++b) {
+      co_await memput_value<std::uint64_t>(
+          ctx, table.advanced(b * 1024, 1024),
+          static_cast<std::uint64_t>(ctx.rank() * 10 + b));
+    }
+    const Gva counter = alloc_cyclic(ctx, 1, 64);
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await fetch_add(ctx, counter, 5);
+    }
+    (void)co_await memget_value<std::uint64_t>(
+        ctx, table.advanced(((ctx.rank() + 2) % 6) * 1024, 1024));
+    co_await world.coll().barrier(ctx);
+    if (world.gas().supports_migration() && ctx.rank() == 0) {
+      co_await migrate(ctx, table, (table.home(ctx.ranks()) + 3) % ctx.ranks());
+    }
+    co_await world.coll().barrier(ctx);
+    free_alloc(ctx, counter);
+    free_alloc(ctx, table);
+  });
+  return {world.engine().trace_hash(), world.counters_total().items()};
+}
+
+class ShardedCounters : public ::testing::TestWithParam<GasMode> {};
+
+// The tentpole counters requirement: per-shard blocks summed at
+// quiescence give totals independent of how many host threads executed
+// the lanes — every field, not just the trace hash.
+TEST_P(ShardedCounters, TotalsThreadCountInvariant) {
+  const WorldRun serial = run_world(GetParam(), 1);
+  // Sanity: the workload actually exercised the counted paths.
+  std::uint64_t msgs = 0;
+  for (const auto& [name, value] : serial.counters) {
+    if (name == "messages_sent") msgs = value;
+  }
+  EXPECT_GT(msgs, 0u);
+  for (const int t : {2, 4, 8}) {
+    const WorldRun r = run_world(GetParam(), t);
+    EXPECT_EQ(r.hash, serial.hash) << "threads=" << t;
+    ASSERT_EQ(r.counters.size(), serial.counters.size());
+    for (std::size_t i = 0; i < serial.counters.size(); ++i) {
+      EXPECT_EQ(r.counters[i].second, serial.counters[i].second)
+          << serial.counters[i].first << " at threads=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ShardedCounters,
+                         ::testing::Values(GasMode::kPgas, GasMode::kAgasSw,
+                                           GasMode::kAgasNet),
+                         [](const auto& param_info) {
+                           std::string n = gas::to_string(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Classic engine: counters_total() must be exactly counters() — the
+// aggregation path is a no-op with one shard.
+TEST(ShardedCounters, ClassicTotalEqualsSingleBlock) {
+  Config cfg = Config::with_nodes(4, GasMode::kPgas);
+  World world(cfg);
+  world.run_spmd([](Context& ctx) -> Fiber {
+    const Gva g = alloc_cyclic(ctx, 4, 256);
+    (void)co_await fetch_add(ctx, g, 1);
+    free_alloc(ctx, g);
+  });
+  const auto single = world.fabric().counters().items();
+  const auto total = world.counters_total().items();
+  ASSERT_EQ(single.size(), total.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i].second, total[i].second) << single[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace nvgas

@@ -1,0 +1,21 @@
+// simlint fixture: this file lives under a sim/ path component, so
+// mutable static-storage declarations must fire D7 — under the
+// conservative-parallel engine this tree runs on several host threads.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t source();
+
+static std::uint64_t g_counter = 0;                     // simlint-expect(D7)
+thread_local int g_depth = 0;                           // simlint-expect(D7)
+inline std::vector<int> g_registry;                     // simlint-expect(D7)
+
+struct Stats {
+  static std::uint64_t total_events;                    // simlint-expect(D7)
+};
+
+std::uint64_t bump() {
+  static std::uint64_t calls = 0;                       // simlint-expect(D7)
+  g_counter += source();
+  return ++calls;
+}

@@ -33,6 +33,13 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
       sanctioned injection point, where the mcheck Explorer hook can
       delay the arrival; a bypass makes that delivery invisible to
       bounded model checking.
+  D7  no mutable static-storage state (static / thread_local /
+      namespace-scope inline variables that are not const) in src/sim,
+      src/net or src/gas: under the conservative-parallel engine those
+      trees execute on several host threads at once, so shared mutable
+      statics are a data race and a determinism hole, not a style
+      smell. Legitimate cases (host-thread execution context, frozen
+      tables) carry `simlint:allow(D7: shard-local why)`.
 
 Suppression: append `// simlint:allow(D1)` or
 `// simlint:allow(D1: justification)` to the offending line; a
@@ -65,6 +72,7 @@ RULES = {
     "D4": "std::function on a sim/net hot path (util::InlineFunction mandated)",
     "D5": "by-reference lambda capture passed to Engine scheduling (dangling hazard)",
     "D6": "direct NIC injection bypassing the Explorer hook in Nic::send()",
+    "D7": "mutable static-storage state in a shard-parallel tree (data race)",
 }
 
 
@@ -515,6 +523,66 @@ def check_d6(f: StrippedFile) -> list:
     return findings
 
 
+# --- D7: mutable static-storage state in shard-parallel trees ----------------
+
+# Candidate storage-class keywords. `inline` at namespace scope also
+# gives a variable static storage duration (C++17), so it is included;
+# inline *functions* are filtered out by the call-shape check below.
+D7_DECL_RE = re.compile(r"\b(static|thread_local|inline)\b")
+D7_CONST_RE = re.compile(r"\b(const|constexpr|consteval|constinit)\b")
+
+
+def in_shard_tree(path: str) -> bool:
+    parts = pathlib.PurePath(path).parts
+    return "sim" in parts or "net" in parts or "gas" in parts
+
+
+def check_d7(f: StrippedFile) -> list:
+    if not in_shard_tree(f.path):
+        return []
+    findings = []
+    flagged_lines: set[int] = set()
+    for m in D7_DECL_RE.finditer(f.code):
+        # Full statement: from the previous statement/scope boundary to
+        # the first ';' or '{' after the keyword.
+        stmt_start = max(f.code.rfind(";", 0, m.start()),
+                         f.code.rfind("{", 0, m.start()),
+                         f.code.rfind("}", 0, m.start())) + 1
+        end = m.end()
+        n = len(f.code)
+        while end < n and f.code[end] not in ";{":
+            end += 1
+        decl = f.code[stmt_start:end]
+        # const-qualified anywhere in the declaration: immutable, fine.
+        if D7_CONST_RE.search(decl):
+            continue
+        # Function (or member-function) declaration: a '(' before any
+        # '='. Variables with direct-init parens are rare enough that a
+        # suppression is a fair ask.
+        pos_eq = decl.find("=")
+        pos_par = decl.find("(")
+        if pos_par != -1 and (pos_eq == -1 or pos_par < pos_eq):
+            continue
+        # `inline namespace` / `static_assert`-like non-declarations.
+        if re.search(r"\b(?:namespace|using|friend|return|typedef)\b", decl):
+            continue
+        # A bare storage keyword with no declarator (e.g. macro noise).
+        if not re.search(r"[A-Za-z_]\w*\s*(?:=|;|\{|$)", f.code[m.end():end] + f.code[end:end + 1]):
+            continue
+        ln = line_of(f.code, m.start())
+        if ln in flagged_lines or is_suppressed(f, ln, "D7"):
+            continue
+        flagged_lines.add(ln)
+        findings.append(
+            Finding(f.path, ln, "D7",
+                    f"mutable {m.group(1)}-storage state in a shard-parallel "
+                    "tree: sim/net/gas code runs on several host threads "
+                    "under the sharded engine, so shared mutable statics "
+                    "race; make it per-shard state or annotate with "
+                    "simlint:allow(D7: <why it is shard-local>)"))
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 def gather_files(paths: list) -> list:
@@ -557,6 +625,8 @@ def lint_paths(paths: list, rules: set) -> list:
             findings.extend(check_d5(f))
         if "D6" in rules:
             findings.extend(check_d6(f))
+        if "D7" in rules:
+            findings.extend(check_d7(f))
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 
