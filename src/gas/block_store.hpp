@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/memory.hpp"
+#include "sim/shardsan.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
@@ -22,6 +23,12 @@ class BlockStore {
  public:
   explicit BlockStore(std::size_t segment_bytes)
       : segment_bytes_(segment_bytes) {}
+
+  // ShardSan owner tag: bound to the store's node by GlobalHeap. The
+  // sanctioned cross-lane paths (alloc-time home reservation, free_alloc
+  // teardown) open NVGAS_SHARD_CROSS scopes matching the mutex rationale
+  // below; everything else must run on the owning lane.
+  NVGAS_SHARD_OWNER_DECL;
 
   // Allocate `bytes` (rounded up to a power of two, min 64). Aborts on
   // exhaustion only if `nofail`; otherwise returns false.

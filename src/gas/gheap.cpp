@@ -7,6 +7,7 @@ GlobalHeap::GlobalHeap(sim::Fabric& fabric) : fabric_(&fabric) {
   for (int n = 0; n < fabric.nodes(); ++n) {
     stores_.push_back(
         std::make_unique<BlockStore>(fabric.params().mem_bytes_per_node));
+    NVGAS_SHARD_BIND(*stores_.back(), n, &fabric.engine());
   }
   if (fabric.engine().sharded()) {
     alloc_counts_.assign(static_cast<std::size_t>(fabric.nodes()), 0);
@@ -41,10 +42,13 @@ Gva GlobalHeap::alloc(Dist dist, int creator, std::uint32_t nblocks,
   meta.block_size = block_size;
 
   const Gva base = Gva::make(dist, creator, meta.id, 0, 0);
+  // The creator reserves backing store on every home rank — the
+  // alloc-time cross-lane exception in BlockStore's locking contract.
+  NVGAS_SHARD_CROSS("alloc-time home reservation (BlockStore contract)");
   for (std::uint32_t b = 0; b < nblocks; ++b) {
     const Gva block = Gva::make(dist, creator, meta.id, b, 0);
     const int home = block.home(fabric_->nodes());
-    initial_[block.block_key()] = store(home).allocate(block_size);
+    initial_[block.block_key()] = store(home).allocate(block_size);  // simlint:allow(D8: alloc-time home reservation under NVGAS_SHARD_CROSS — BlockStore locking contract)
   }
   metas_.emplace(meta.id, meta);
   return base;

@@ -15,6 +15,7 @@ Balancer::Balancer(sim::Fabric& fabric, gas::GasBase& gas, const LbConfig& cfg)
       policy_(make_policy(cfg.policy)) {
   NVGAS_CHECK(cfg_.coordinator >= 0 && cfg_.coordinator < fabric.nodes());
   NVGAS_CHECK(cfg_.max_inflight > 0);
+  NVGAS_SHARD_BIND(heat_, cfg_.coordinator, &fabric.engine());
   active_ = gas.supports_migration() && cfg_.policy != PolicyKind::kNone;
   if (active_) gas_->set_access_observer(this);
 }
@@ -35,6 +36,9 @@ void Balancer::on_local_access(int node, std::uint64_t block_key) {
            [this, node, block_key] { on_local_access(node, block_key); });
     return;
   }
+  // Classic-mode coordinator hop: heat state and the tick timer live on
+  // the coordinator's lane — the handoff the sharded branch posts above.
+  NVGAS_SHARD_HOP(&e, cfg_.coordinator);
   heat_.on_local_access(node, block_key);
   arm();
 }
@@ -47,13 +51,17 @@ void Balancer::on_remote_access(int node, std::uint64_t block_key) {
            [this, node, block_key] { on_remote_access(node, block_key); });
     return;
   }
+  NVGAS_SHARD_HOP(&e, cfg_.coordinator);
   heat_.on_remote_access(node, block_key);
   arm();
 }
 
 void Balancer::on_block_freed(std::uint64_t block_key) {
   // Only reached inline (classic) or from the free_alloc barrier event
-  // (sharded), where every lane is quiesced — no routing needed.
+  // (sharded), where every lane is quiesced — no routing needed. The
+  // classic inline call still runs in the freeing node's context, so hop
+  // to the coordinator for attribution.
+  NVGAS_SHARD_HOP(&fabric_->engine(), cfg_.coordinator);
   heat_.on_block_freed(block_key);
   backoff_.erase(block_key);
 }

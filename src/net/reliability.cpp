@@ -42,6 +42,7 @@ void Reliability::send(sim::Time depart, int dst, std::uint64_t bytes,
                        sim::Nic::Deliver deliver) {
   NVGAS_CHECK_MSG(dst != node_,
                   "loopback frames never enter the reliability channel");
+  NVGAS_SHARD_GUARD("reliability tx window", node_, &fabric_->engine());
   TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
   const std::uint64_t seq = ch.next_seq++;
   const std::int32_t idx = alloc_slot();
@@ -57,6 +58,7 @@ void Reliability::send(sim::Time depart, int dst, std::uint64_t bytes,
 }
 
 void Reliability::send_frame(sim::Time depart, int dst, std::uint64_t seq) {
+  NVGAS_SHARD_GUARD("reliability tx window", node_, &fabric_->engine());
   TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
   const auto it = ch.unacked.find(seq);
   NVGAS_CHECK_MSG(it != ch.unacked.end(), "framing a retired seq");
@@ -76,12 +78,15 @@ void Reliability::send_frame(sim::Time depart, int dst, std::uint64_t seq) {
   // duplication); the payload closure stays in the window slot.
   Reliability* peer = &group_->at(dst);
   const int src = node_;
-  fabric_->nic(node_).send(
+  fabric_->nic(node_).send(  // simlint:allow(D8: self-indexed — the sender's own NIC; Nic::send is the sanctioned injection point)
       depart, dst, cfg_.rel_header_bytes + s.bytes,
       [peer, src, seq, piggy](sim::Time t) { peer->on_data(t, src, seq, piggy); });
 }
 
 void Reliability::arm_rto(sim::Time ref, int dst, std::uint64_t seq) {
+  // The retransmit timer must live on this (sender) node's lane: it
+  // mutates the window slot when it fires.
+  NVGAS_SHARD_GUARD("reliability rto timer", node_, &fabric_->engine());
   TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
   const auto it = ch.unacked.find(seq);
   NVGAS_CHECK_MSG(it != ch.unacked.end(), "arming RTO for a retired seq");
@@ -91,6 +96,7 @@ void Reliability::arm_rto(sim::Time ref, int dst, std::uint64_t seq) {
 }
 
 void Reliability::on_rto(int dst, std::uint64_t seq) {
+  NVGAS_SHARD_GUARD("reliability rto timer", node_, &fabric_->engine());
   TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
   const auto it = ch.unacked.find(seq);
   // Retirement cancels the timer, so a fired RTO always finds its slot.
@@ -108,6 +114,7 @@ void Reliability::on_rto(int dst, std::uint64_t seq) {
 
 void Reliability::on_data(sim::Time t, int src, std::uint64_t seq,
                           std::uint64_t acked) {
+  NVGAS_SHARD_GUARD("reliability rx channel", node_, &fabric_->engine());
   process_ack(src, acked);
   RxChannel& rx = rx_[static_cast<std::size_t>(src)];
   if (seq <= rx.floor || rx.buffered.count(seq) != 0) {
@@ -143,15 +150,26 @@ void Reliability::on_ack(sim::Time /*t*/, int src, std::uint64_t acked) {
 }
 
 void Reliability::deliver_payload(sim::Time t, int dst, std::uint64_t seq) {
-  TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
-  const auto it = ch.unacked.find(seq);
-  NVGAS_CHECK_MSG(it != ch.unacked.end(), "payload consumed for a retired seq");
-  TxSlot& s = slots_[static_cast<std::size_t>(it->second)];
-  NVGAS_CHECK_MSG(!s.delivered, "payload consumed twice");
-  s.delivered = true;
-  // Move out before invoking: the payload may reentrantly send() and
-  // grow slots_, invalidating `s`. Nothing touches the slot afterwards.
-  sim::Nic::Deliver payload = std::move(s.payload);
+  sim::Nic::Deliver payload;
+  {
+    // Classic-mode equivalent of consume_payload's hop 1: the window slot
+    // belongs to this (sender) node's lane even though the accept that
+    // called us ran at the receiver.
+    NVGAS_SHARD_HOP(&fabric_->engine(), node_);
+    NVGAS_SHARD_GUARD("reliability tx window", node_, &fabric_->engine());
+    TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
+    const auto it = ch.unacked.find(seq);
+    NVGAS_CHECK_MSG(it != ch.unacked.end(),
+                    "payload consumed for a retired seq");
+    TxSlot& s = slots_[static_cast<std::size_t>(it->second)];
+    NVGAS_CHECK_MSG(!s.delivered, "payload consumed twice");
+    s.delivered = true;
+    // Move out before invoking: the payload may reentrantly send() and
+    // grow slots_, invalidating `s`. Nothing touches the slot afterwards.
+    payload = std::move(s.payload);
+  }
+  // The payload acts on the consumer's state, so it runs in the caller's
+  // (receiver's) attribution — mirroring consume_payload's hop 2.
   payload(t);
 }
 
@@ -181,6 +199,7 @@ void Reliability::consume_payload(sim::Time t, int consumer, std::uint64_t seq) 
 }
 
 void Reliability::process_ack(int dst, std::uint64_t acked) {
+  NVGAS_SHARD_GUARD("reliability tx window", node_, &fabric_->engine());
   TxChannel& ch = tx_[static_cast<std::size_t>(dst)];
   while (!ch.unacked.empty()) {
     const auto it = ch.unacked.begin();
@@ -199,6 +218,7 @@ void Reliability::process_ack(int dst, std::uint64_t acked) {
 }
 
 void Reliability::schedule_ack(sim::Time t, int src) {
+  NVGAS_SHARD_GUARD("reliability ack timer", node_, &fabric_->engine());
   RxChannel& rx = rx_[static_cast<std::size_t>(src)];
   if (rx.ack_armed) return;
   rx.ack_armed = true;
@@ -218,7 +238,7 @@ void Reliability::send_pure_ack(sim::Time t, int dst) {
   Reliability* peer = &group_->at(dst);
   const int src = node_;
   const std::uint64_t acked = rx_[static_cast<std::size_t>(dst)].floor;
-  fabric_->nic(node_).send(
+  fabric_->nic(node_).send(  // simlint:allow(D8: self-indexed — the sender's own NIC; Nic::send is the sanctioned injection point)
       t, dst, cfg_.rel_header_bytes,
       [peer, src, acked](sim::Time at) { peer->on_ack(at, src, acked); });
 }
@@ -228,6 +248,14 @@ std::uint64_t Reliability::unacked() const {
   for (const auto& ch : tx_) n += ch.unacked.size();
   return n;
 }
+
+#if NVGAS_SHARDSAN
+void Reliability::shardsan_rearm_oldest_rto(int dst) {
+  TxChannel& ch = tx_.at(static_cast<std::size_t>(dst));
+  NVGAS_CHECK_MSG(!ch.unacked.empty(), "no unacked slot to re-arm");
+  arm_rto(fabric_->engine().now(), dst, ch.unacked.begin()->first);
+}
+#endif
 
 #ifdef NVGAS_SIMSAN
 void Reliability::simsan_double_cancel_rto(int dst) {
@@ -250,7 +278,7 @@ void channel_send(sim::Fabric& fabric, ReliabilityGroup* rel, int from,
                   int dst, sim::Time depart, std::uint64_t bytes,
                   sim::Nic::Deliver fn) {
   if (from == dst || fabric.faults() == nullptr) {
-    fabric.nic(from).send(depart, dst, bytes, std::move(fn));
+    fabric.nic(from).send(depart, dst, bytes, std::move(fn));  // simlint:allow(D8: self-indexed — the sender's own NIC; Nic::send is the sanctioned injection point)
     return;
   }
   NVGAS_CHECK_MSG(

@@ -92,6 +92,13 @@ class Reliability {
   // Frames sent but not yet cumulatively acked, across all channels.
   [[nodiscard]] std::uint64_t unacked() const;
 
+#if NVGAS_SHARDSAN
+  // Death-test hook: re-arm the oldest unacked slot's retransmit timer
+  // from the CALLER's context, modeling a buggy cross-lane caller arming
+  // an RTO on the wrong lane; ShardSan must abort. Tests only.
+  void shardsan_rearm_oldest_rto(int dst);
+#endif
+
 #ifdef NVGAS_SIMSAN
   // Death-test hook: cancel the oldest unacked slot's armed retransmit
   // timer twice; the second cancel must die with the engine's

@@ -105,7 +105,17 @@ void Cpu::pump() {
     Task fn = std::move(queue_.front());
     queue_.pop_front();
     TaskCtx ctx(*this, start);
-    fn(ctx);
+    {
+#if NVGAS_SHARDSAN
+      // Attribution root: tasks are node-local, so everything a task does
+      // (and every event chain it schedules) logically belongs to this
+      // node's lane — in classic mode too, which is what makes ownership
+      // violations detectable on a single-threaded run.
+      shardsan::ExecScope ss_scope(&engine_, static_cast<std::uint32_t>(node_),
+                                   start);
+#endif
+      fn(ctx);
+    }
     avail_[w] = start + ctx.charged();
     if (trace_ != nullptr) {
       trace_->record(start, TraceEvent::kCpuTask, node_, -1, ctx.charged());

@@ -294,6 +294,12 @@ void Engine::Lane::execute(std::int32_t idx) {
   NVGAS_CHECK_MSG(n.live && !n.cancelled,
                   "SimSan: executing a recycled or cancelled event node");
 #endif
+#if NVGAS_SHARDSAN
+  const std::uint32_t ss_lane = n.ss_lane;
+  // The window's lookahead proof bounds every event this lane may run:
+  // executing past the deadline means the window computation was wrong.
+  shardsan::audit_event_time(n.at, __FILE__, __LINE__);
+#endif
   NVGAS_DCHECK(n.at >= now);
   now = n.at;
   NVGAS_DCHECK(pending > 0);
@@ -321,6 +327,11 @@ void Engine::Lane::execute(std::int32_t idx) {
   // the pool, invalidating the reference.
   recycle(idx);
   note_executed(t, seq);
+#if NVGAS_SHARDSAN
+  // Re-open the attribution captured at schedule time, so ownership
+  // checks see the lane this event chain logically belongs to.
+  shardsan::ExecScope ss_scope(ss_domain, ss_lane, t);
+#endif
   fn();
 }
 
@@ -358,6 +369,11 @@ Time Engine::Lane::next_time() {
 }
 
 void Engine::Lane::run_window(Time deadline, std::uint64_t cap) {
+#if NVGAS_SHARDSAN
+  // Publish the window bound the lookahead proof established, for the
+  // per-event deadline audit in execute().
+  shardsan::WindowScope ss_window(deadline);
+#endif
   std::uint64_t n = 0;
   while (n < cap) {
     const std::int32_t idx = pop_next(/*bounded=*/true, deadline);
@@ -372,6 +388,9 @@ void Engine::Lane::run_window(Time deadline, std::uint64_t cap) {
 Engine::Engine(Time horizon_ns) {
   lanes_.resize(1);
   lanes_[0].init(horizon_ns, 1);
+#if NVGAS_SHARDSAN
+  lanes_[0].ss_domain = this;
+#endif
 }
 
 Engine::~Engine() {
@@ -391,7 +410,12 @@ void Engine::configure_shards(std::uint32_t nshards, Time lookahead,
                   "configure_shards after scheduling or execution");
   lanes_.clear();
   lanes_.resize(nshards);
-  for (Lane& l : lanes_) l.init(horizon_ns, nshards);
+  for (Lane& l : lanes_) {
+    l.init(horizon_ns, nshards);
+#if NVGAS_SHARDSAN
+    l.ss_domain = this;
+#endif
+  }
   sharded_ = nshards > 1;
   lookahead_ = lookahead;
   threads_ = std::clamp(threads, 1, static_cast<int>(nshards));
@@ -449,14 +473,27 @@ std::uint64_t Engine::trace_hash() const {
 
 Engine::TimerId Engine::schedule_on(std::uint32_t lane, Time t, Callback fn) {
   NVGAS_DCHECK(lane < lanes_.size());
+#if NVGAS_SHARDSAN
+  // The wheel ownership guard is sharded-only: the classic lanes_[0]
+  // wheel is deliberately shared by every logical lane, so a logical
+  // check there would reject legitimate at_shard(0) use.
+  if (sharded_) NVGAS_SHARD_GUARD("engine lane wheel", lane, this);
+#endif
   std::int32_t idx = -1;
   const std::uint64_t seq = lanes_[lane].schedule(t, std::move(fn), &idx);
+#if NVGAS_SHARDSAN
+  lanes_[lane].pool[static_cast<std::size_t>(idx)].ss_lane =
+      sharded_ ? lane : shardsan::current_lane(this);
+#endif
   return TimerId{static_cast<std::uint32_t>(idx), lane, seq};
 }
 
 bool Engine::cancel(TimerId id) {
   if (!id.valid() || id.shard >= lanes_.size()) return false;
   NVGAS_DCHECK(!on_shard_context() || tl_lane == id.shard || tl_adopted);
+#if NVGAS_SHARDSAN
+  if (sharded_) NVGAS_SHARD_GUARD("engine lane wheel (cancel)", id.shard, this);
+#endif
   return lanes_[id.shard].cancel(id.node, id.seq);
 }
 
@@ -472,7 +509,13 @@ void Engine::post(std::uint32_t dst, Time t, Callback fn) {
     return;
   }
   Lane& src = lanes_[tl_lane];
-  src.out[dst].push_back(OutMsg{t, src.out_order++, std::move(fn)});
+  OutMsg m{t, src.out_order++, std::move(fn)};
+#if NVGAS_SHARDSAN
+  m.ss_posted_at = src.now;
+  m.ss_epoch = ss_epoch_;
+  m.ss_windowed = shardsan::tls().win_open;
+#endif
+  src.out[dst].push_back(std::move(m));
 }
 
 void Engine::at_global(Time g, std::uint32_t home, Callback fn) {
@@ -491,6 +534,12 @@ void Engine::at_global(Time g, std::uint32_t home, Callback fn) {
 
 void Engine::drain_outboxes() {
   const std::uint32_t n = shards();
+#if NVGAS_SHARDSAN
+  if (ss_window_open_) {
+    shardsan::audit_fail("outbox drain while a window was executing",
+                         __FILE__, __LINE__);
+  }
+#endif
   // Wire/handoff entries: per destination, merge all sources in the
   // deterministic total order (time, src lane, post order) and schedule
   // them as ordinary lane events. Entries before the last window
@@ -517,8 +566,46 @@ void Engine::drain_outboxes() {
       if (a.src != b.src) return a.src < b.src;
       return a.order < b.order;
     });
+#if NVGAS_SHARDSAN
+    // The drain order must be exactly the strict (time, src lane, post
+    // order) tie-break — any tie left after the sort means two messages
+    // shared a full key and delivery order would depend on merge order.
+    for (std::size_t j = 0; j + 1 < merged.size(); ++j) {
+      const Key& a = merged[j];
+      const Key& b = merged[j + 1];
+      if (a.t == b.t && a.src == b.src && a.order == b.order) {
+        shardsan::audit_fail(
+            "duplicate (time, src lane, post order) key in outbox drain",
+            __FILE__, __LINE__);
+      }
+    }
+#endif
     for (Key& k : merged) {
-      (void)schedule_on(dst, std::max(k.t, floor_), std::move(k.msg->fn));
+      const Time sched = std::max(k.t, floor_);
+#if NVGAS_SHARDSAN
+      // Machine-check the lookahead proof: a window post at source time
+      // P may be clamped at most to P + L (boundary B <= t_post + L), so
+      // a clamp beyond that means a window ran wider than its proof.
+      if (k.msg->ss_windowed && floor_ > k.msg->ss_posted_at + lookahead_) {
+        shardsan::audit_fail(
+            "cross-lane delivery clamped past its lookahead bound",
+            __FILE__, __LINE__);
+      }
+      // No message may sit out a window boundary: every outbox is fully
+      // drained between windows, so a stale epoch means a missed drain.
+      if (k.msg->ss_epoch != ss_epoch_) {
+        shardsan::audit_fail(
+            "outbox message survived a window boundary undrained",
+            __FILE__, __LINE__);
+      }
+      // Delivery time >= the destination's window floor (its clock).
+      if (sched < lanes_[dst].now) {
+        shardsan::audit_fail(
+            "cross-lane delivery scheduled into the destination's past",
+            __FILE__, __LINE__);
+      }
+#endif
+      (void)schedule_on(dst, sched, std::move(k.msg->fn));
     }
     for (std::uint32_t src = 0; src < n; ++src) lanes_[src].out[dst].clear();
   }
@@ -552,6 +639,20 @@ void Engine::run_globals_at(Time g) {
   // every lane's next pending event is >= g). Each execution is folded
   // into a dedicated barrier-event hash so the total trace hash covers
   // this stream too.
+#if NVGAS_SHARDSAN
+  if (ss_window_open_) {
+    shardsan::audit_fail("barrier event ran while a window was executing",
+                         __FILE__, __LINE__);
+  }
+  // A barrier may only run once every lane's horizon has passed g: any
+  // lane with an earlier pending event could still affect barrier state.
+  for (Lane& l : lanes_) {
+    if (l.next_time() < g) {
+      shardsan::audit_fail("barrier event ran before every lane reached it",
+                           __FILE__, __LINE__);
+    }
+  }
+#endif
   std::size_t i = 0;
   while (i < globals_.size() && globals_[i].g == g) ++i;
   std::vector<GlobalReq> batch(std::make_move_iterator(globals_.begin()),
@@ -571,6 +672,13 @@ void Engine::run_globals_at(Time g) {
     mix(r.home);
     mix(global_seq_++);
     LaneScope scope(&tl_engine, &tl_lane, this, r.home);
+#if NVGAS_SHARDSAN
+    // Barrier events run serially while every lane is quiesced past g —
+    // the sanctioned home for cross-lane state (attribute the home lane,
+    // sanction everything else).
+    shardsan::ExecScope ss_scope(this, r.home, g);
+    shardsan::SanctionScope ss_sanction;
+#endif
     r.fn();
   }
   floor_ = std::max(floor_, g);
@@ -673,7 +781,14 @@ std::uint64_t Engine::run_sharded(bool bounded, Time deadline,
     Time b = t_min + lookahead_;
     if (g_min != ~Time{0}) b = std::min(b, g_min);
     if (bounded && deadline != ~Time{0}) b = std::min(b, deadline + 1);
+#if NVGAS_SHARDSAN
+    ++ss_epoch_;
+    ss_window_open_ = true;
+#endif
     run_window_parallel(b - 1, max_events - done);
+#if NVGAS_SHARDSAN
+    ss_window_open_ = false;
+#endif
     floor_ = std::max(floor_, b);
   }
   if (bounded) {

@@ -66,6 +66,7 @@
 #include <thread>
 #endif
 
+#include "sim/shardsan.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 #include "util/inline_function.hpp"
@@ -219,7 +220,12 @@ class Engine {
     ShardContext(Engine& engine, std::uint32_t shard)
         : prev_engine_(tl_engine),
           prev_lane_(tl_lane),
-          prev_adopted_(tl_adopted) {
+          prev_adopted_(tl_adopted)
+#if NVGAS_SHARDSAN
+          ,
+          ss_exec_(&engine, shard)
+#endif
+    {
       NVGAS_DCHECK(shard < engine.lanes_.size());
       tl_engine = &engine;
       tl_lane = shard;
@@ -237,6 +243,13 @@ class Engine {
     Engine* prev_engine_;
     std::uint32_t prev_lane_;
     bool prev_adopted_;
+#if NVGAS_SHARDSAN
+    // Adopted contexts run while every lane is quiesced: attribute the
+    // adopted lane and sanction cross-lane access, matching the engine's
+    // own adopted-context contract.
+    shardsan::ExecScope ss_exec_;
+    shardsan::SanctionScope ss_sanction_;
+#endif
   };
 
 #ifdef NVGAS_SIMSAN
@@ -264,6 +277,12 @@ class Engine {
 #ifdef NVGAS_SIMSAN
     std::uint64_t canary_post = kSimsanCanary;
 #endif
+#if NVGAS_SHARDSAN
+    // Logical lane attribution captured at schedule time: the target lane
+    // in sharded mode (lane events belong to their lane), the scheduling
+    // context's logical lane in classic mode (propagates through chains).
+    std::uint32_t ss_lane = shardsan::kNone;
+#endif
   };
 
 #ifdef NVGAS_SIMSAN
@@ -289,6 +308,17 @@ class Engine {
     Time t = 0;
     std::uint64_t order = 0;
     Callback fn;
+#if NVGAS_SHARDSAN
+    // Safe-window auditor provenance: the posting lane's clock and the
+    // window epoch the post happened in. The drain verifies the clamp
+    // never exceeds posted_at + lookahead (the conservative-PDES proof)
+    // and that no message survives a window boundary undrained.
+    Time ss_posted_at = 0;
+    std::uint64_t ss_epoch = 0;
+    // Posted from inside a window (vs an adopted/barrier context while
+    // quiesced, where the clamp-vs-lookahead bound doesn't apply).
+    bool ss_windowed = false;
+#endif
   };
   // Barrier-event request; `src` tags the posting lane for the drain sort.
   struct GlobalReq {
@@ -375,6 +405,12 @@ class Engine {
     std::uint64_t out_order = 0;
     std::vector<GlobalReq> gout;
     std::uint64_t gout_order = 0;
+
+#if NVGAS_SHARDSAN
+    // The owning Engine — ShardSan's attribution domain (distinguishes
+    // nested engines), set at init and never changed.
+    const void* ss_domain = nullptr;
+#endif
   };
 
   [[nodiscard]] std::uint32_t ctx_lane() const {
@@ -408,6 +444,14 @@ class Engine {
   Time lookahead_ = 0;
   int threads_ = 1;
   Time floor_ = 0;  // boundary of the last completed window
+
+#if NVGAS_SHARDSAN
+  // Safe-window auditor state: the current window epoch (bumped before
+  // each window) and whether a window is executing right now. Both are
+  // only touched by the coordinating thread between windows.
+  std::uint64_t ss_epoch_ = 0;
+  bool ss_window_open_ = false;
+#endif
 
   // Pending barrier events, kept sorted by (g, src, order) after drains.
   std::vector<GlobalReq> globals_;

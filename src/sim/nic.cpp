@@ -23,6 +23,7 @@ std::int32_t Nic::park_msg(int src, std::uint64_t bytes, Deliver deliver,
     inflight_.emplace_back();
     idx = static_cast<std::int32_t>(inflight_.size() - 1);
   }
+  NVGAS_SHARD_GUARD("nic in-flight pool", node_, &fabric_->engine());
   PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
   m.src = src;
   m.bytes = bytes;
@@ -39,6 +40,7 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
   auto& engine = fabric_->engine();
   const auto& p = fabric_->params();
   NVGAS_CHECK(depart >= engine.now());
+  NVGAS_SHARD_GUARD("nic tx port", node_, &engine);
 
   // tx port serialization.
   tx_avail_ = std::max(depart, tx_avail_) + p.wire_time(bytes);
@@ -96,6 +98,10 @@ void Nic::send(Time depart, int dst, std::uint64_t bytes, Deliver deliver) {
                 });
     return;
   }
+  // Classic-mode wire hop: from here on the message belongs to the
+  // destination NIC's lane — the exact site the sharded engine routes
+  // through post() above, so attribution is mode-invariant.
+  NVGAS_SHARD_HOP(&engine, dst);
   const std::int32_t idx =
       dst_nic.park_msg(node_, bytes, std::move(deliver), inj, copies);
   const Time arrive0 = at_dst_port + fd.extra_delay;
@@ -124,6 +130,7 @@ void Nic::receive_remote(int src, std::uint64_t bytes, Deliver deliver,
 void Nic::arrive(std::int32_t idx, Time at_port) {
   auto& engine = fabric_->engine();
   const auto& p = fabric_->params();
+  NVGAS_SHARD_GUARD("nic rx port", node_, &engine);
   PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
 #ifdef NVGAS_SIMSAN
   NVGAS_CHECK_MSG(m.parked,
@@ -144,6 +151,7 @@ void Nic::arrive(std::int32_t idx, Time at_port) {
 }
 
 void Nic::deliver_parked(std::int32_t idx, Time done) {
+  NVGAS_SHARD_GUARD("nic in-flight pool", node_, &fabric_->engine());
   PendingMsg& m = inflight_[static_cast<std::size_t>(idx)];
 #ifdef NVGAS_SIMSAN
   NVGAS_CHECK_MSG(m.parked,
@@ -179,6 +187,7 @@ void Nic::deliver_parked(std::int32_t idx, Time done) {
 }
 
 Time Nic::occupy_command_processor(Time ready, Time cost) {
+  NVGAS_SHARD_GUARD("nic command processor", node_, &fabric_->engine());
   cp_avail_ = std::max(ready, cp_avail_) + cost;
   return cp_avail_;
 }

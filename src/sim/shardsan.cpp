@@ -1,0 +1,91 @@
+#include "sim/shardsan.hpp"
+
+#if NVGAS_SHARDSAN
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace nvgas::sim::shardsan {
+
+namespace {
+// simlint:allow(D7: host-thread execution context, one copy per host thread, never shared across shards)
+thread_local TlCtx g_ctx;
+
+// Render a lane id for diagnostics: node number or "host".
+void fmt_lane(std::uint32_t lane, char* buf, std::size_t n) {
+  if (lane == kNone) {
+    std::snprintf(buf, n, "host");
+  } else {
+    std::snprintf(buf, n, "lane %" PRIu32, lane);
+  }
+}
+}  // namespace
+
+TlCtx& tls() { return g_ctx; }
+
+std::uint32_t current_lane(const void* domain) {
+  const TlCtx& c = g_ctx;
+  return c.domain == domain ? c.lane : kNone;
+}
+
+void check(const char* family, std::uint32_t owner, const void* domain,
+           const char* file, int line) {
+  // Unbound objects (standalone unit-test use, no machine) are unchecked.
+  if (owner == kNone) return;
+  const TlCtx& c = g_ctx;
+  // Sanctioned contexts: adopted host (Engine::ShardContext), the serial
+  // at_global barrier, and explicit NVGAS_SHARD_CROSS contract scopes.
+  if (c.sanction > 0) return;
+  // Unattributed contexts — quiesced host between runs, raw
+  // host-scheduled events, or another engine's execution — may read and
+  // mutate freely: nothing else can be running.
+  if (c.domain != domain || c.lane == kNone) return;
+  if (c.lane == owner) return;
+
+  char who[32];
+  char win[64];
+  fmt_lane(c.lane, who, sizeof(who));
+  if (c.win_open) {
+    std::snprintf(win, sizeof(win), "window=(deadline %" PRIu64 "]",
+                  static_cast<std::uint64_t>(c.win_deadline));
+  } else {
+    std::snprintf(win, sizeof(win), "window=closed");
+  }
+  char msg[256];
+  std::snprintf(msg, sizeof(msg),
+                "ShardSan: cross-lane access to %s (owner lane %" PRIu32
+                ") from %s context at t=%" PRIu64
+                " %s; route via Engine::post/at_global or adopt the lane "
+                "(Engine::ShardContext)",
+                family, owner, who, static_cast<std::uint64_t>(c.now), win);
+  util::panic(file, line, msg);
+}
+
+void audit_fail(const char* what, const char* file, int line) {
+  const TlCtx& c = g_ctx;
+  char who[32];
+  fmt_lane(c.lane, who, sizeof(who));
+  char msg[256];
+  std::snprintf(msg, sizeof(msg),
+                "ShardSan window auditor: %s (context %s, t=%" PRIu64 ")",
+                what, who, static_cast<std::uint64_t>(c.now));
+  util::panic(file, line, msg);
+}
+
+void audit_event_time(Time at, const char* file, int line) {
+  const TlCtx& c = g_ctx;
+  if (!c.win_open || at <= c.win_deadline) return;
+  char msg[160];
+  std::snprintf(msg, sizeof(msg),
+                "ShardSan window auditor: event at t=%" PRIu64
+                " executed past its safe window deadline %" PRIu64,
+                static_cast<std::uint64_t>(at),
+                static_cast<std::uint64_t>(c.win_deadline));
+  util::panic(file, line, msg);
+}
+
+}  // namespace nvgas::sim::shardsan
+
+#endif  // NVGAS_SHARDSAN

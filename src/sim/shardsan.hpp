@@ -1,0 +1,213 @@
+// ShardSan: a purpose-built shard-ownership sanitizer for the sharded
+// (conservative-parallel) engine, in the spirit of SimSan (pool lifetime)
+// and TSan (races) but checking the engine's LOGICAL ownership contract:
+//
+//   Every lane-owned object family — engine lane wheels, NIC in-flight
+//   pools and ports, reliability per-link windows/RTO timers, per-node
+//   BlockStore free lists, lb heat entries — may only be touched from
+//   (a) its owning lane's execution context inside a window,
+//   (b) a sanctioned adopted host context (Engine::ShardContext), or
+//   (c) the serial at_global barrier / quiescent host context.
+//
+// Unlike TSan, the checker tracks *logical* lane attribution, propagated
+// through event scheduling, so a violation aborts deterministically on a
+// single-threaded run of the same program — including classic-engine
+// (-DNVGAS_PARALLEL=OFF) builds, where "lane" means the node whose state
+// an event chain logically belongs to even though only one wheel exists.
+//
+// Attribution flows:
+//   * Cpu::pump opens an ExecScope for the task's node (the root of all
+//     classic-mode attribution; tasks are always node-local);
+//   * Engine::schedule_on captures the scheduling context's lane into the
+//     event node (sharded mode: the target lane, which IS the owner);
+//   * Lane::execute re-opens the captured lane around the callback, so
+//     attribution follows arbitrary event chains;
+//   * the sanctioned classic-mode cross-lane handoffs (NIC wire hop,
+//     reliability payload consume, balancer coordinator notes) switch
+//     lanes explicitly with NVGAS_SHARD_HOP — the exact sites that the
+//     sharded engine routes through Engine::post;
+//   * genuinely cross-lane-by-contract operations (allocation-time home
+//     reservation, free_alloc teardown) open NVGAS_SHARD_CROSS sanction
+//     scopes, mirroring BlockStore's documented locking rationale.
+//
+// A second layer, the safe-window auditor, lives in the engine under the
+// same flag and machine-checks the conservative-PDES lookahead argument
+// itself (DESIGN.md §3b): outbox drains only happen between windows, a
+// drained handoff is never clamped beyond its post time plus the
+// lookahead, delivery order is exactly the (time, src lane, post order)
+// tie-break, and no event executes past its window's deadline.
+//
+// Zero overhead when OFF: every hook compiles away (macros expand to
+// ((void)0)), no struct grows, and ON vs OFF trace hashes are
+// byte-identical because the checker never schedules, reorders, or times
+// anything — it only observes and aborts.
+//
+// See docs/STATIC_ANALYSIS.md §ShardSan for the diagnostic format and
+// suppression policy.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace nvgas::sim::shardsan {
+
+// Lane id meaning "no attribution": host context between runs, raw
+// host-scheduled events, or another engine's context. Checks pass.
+inline constexpr std::uint32_t kNone = 0xffffffffu;
+
+#if NVGAS_SHARDSAN
+
+// Per-host-thread logical execution context. thread_local by necessity —
+// attribution follows the host thread executing events, exactly like the
+// engine's own tl_engine/tl_lane.
+struct TlCtx {
+  const void* domain = nullptr;   // the Engine the attribution belongs to
+  std::uint32_t lane = kNone;     // logical lane (node) being executed
+  std::uint32_t sanction = 0;     // >0: adopted / barrier / NVGAS_SHARD_CROSS
+  Time now = 0;                   // executing event's time (diagnostics)
+  Time win_deadline = ~Time{0};   // open window's inclusive deadline
+  bool win_open = false;
+};
+
+[[nodiscard]] TlCtx& tls();
+
+// The logical lane currently attributed for `domain`, or kNone.
+[[nodiscard]] std::uint32_t current_lane(const void* domain);
+
+// The core ownership check: aborts with a full diagnostic (family, owner
+// lane, accessing context, sim time, window bounds) unless the current
+// context may touch `owner`'s state. `owner == kNone` means the object
+// was never bound to a lane (standalone unit-test use) — always passes.
+void check(const char* family, std::uint32_t owner, const void* domain,
+           const char* file, int line);
+
+// Safe-window auditor failure: aborts with `what` plus the context.
+[[noreturn]] void audit_fail(const char* what, const char* file, int line);
+
+// Event-time audit: an executing event must not lie past the open
+// window's deadline (the window bound the lookahead proof established).
+void audit_event_time(Time at, const char* file, int line);
+
+// RAII: attribute the current host thread to `lane` of `domain`.
+// Opened by Lane::execute (captured lane), Cpu::pump (task node),
+// Engine::ShardContext (adopted lane) and the sanctioned classic-mode
+// handoff sites (NVGAS_SHARD_HOP).
+class ExecScope {
+ public:
+  ExecScope(const void* domain, std::uint32_t lane) : prev_(tls()) {
+    TlCtx& c = tls();
+    c.domain = domain;
+    c.lane = lane;
+  }
+  ExecScope(const void* domain, std::uint32_t lane, Time now) : prev_(tls()) {
+    TlCtx& c = tls();
+    c.domain = domain;
+    c.lane = lane;
+    c.now = now;
+  }
+  ~ExecScope() {
+    TlCtx& c = tls();
+    c.domain = prev_.domain;
+    c.lane = prev_.lane;
+    c.now = prev_.now;
+  }
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+ private:
+  TlCtx prev_;
+};
+
+// RAII: sanction cross-lane access for the scope (adopted contexts, the
+// serial barrier, and contract-sanctioned operations). Nests.
+class SanctionScope {
+ public:
+  SanctionScope() { ++tls().sanction; }
+  ~SanctionScope() { --tls().sanction; }
+  SanctionScope(const SanctionScope&) = delete;
+  SanctionScope& operator=(const SanctionScope&) = delete;
+};
+
+// RAII: publish the executing window's deadline for the event-time audit.
+class WindowScope {
+ public:
+  explicit WindowScope(Time deadline)
+      : prev_deadline_(tls().win_deadline), prev_open_(tls().win_open) {
+    TlCtx& c = tls();
+    c.win_deadline = deadline;
+    c.win_open = true;
+  }
+  ~WindowScope() {
+    TlCtx& c = tls();
+    c.win_deadline = prev_deadline_;
+    c.win_open = prev_open_;
+  }
+  WindowScope(const WindowScope&) = delete;
+  WindowScope& operator=(const WindowScope&) = delete;
+
+ private:
+  Time prev_deadline_;
+  bool prev_open_;
+};
+
+#endif  // NVGAS_SHARDSAN
+
+}  // namespace nvgas::sim::shardsan
+
+// ---- instrumentation macros (compile away when OFF) -----------------------
+
+#if NVGAS_SHARDSAN
+
+// Guard a touch of a lane-owned object: `family` is a string literal
+// naming the object family, `owner` the owning lane (node id), `domain`
+// the owning Engine.
+#define NVGAS_SHARD_GUARD(family, owner, domain)              \
+  ::nvgas::sim::shardsan::check(                              \
+      family, static_cast<std::uint32_t>(owner), (domain), __FILE__, __LINE__)
+
+// Guard through the object's bound owner (see NVGAS_SHARD_OWNER_DECL).
+#define NVGAS_SHARD_GUARD_MEMBER(family) \
+  ::nvgas::sim::shardsan::check(family, nvgas_ss_owner_, nvgas_ss_domain_, \
+                                __FILE__, __LINE__)
+
+#define NVGAS_SS_CONCAT2(a, b) a##b
+#define NVGAS_SS_CONCAT(a, b) NVGAS_SS_CONCAT2(a, b)
+
+// Sanctioned classic-mode logical handoff: attribute the rest of the
+// scope to `lane` — exactly the sites the sharded engine routes via
+// Engine::post, so attribution is mode-invariant.
+#define NVGAS_SHARD_HOP(domain, lane)                   \
+  ::nvgas::sim::shardsan::ExecScope NVGAS_SS_CONCAT(    \
+      nvgas_ss_hop_, __LINE__)((domain), static_cast<std::uint32_t>(lane))
+
+// Sanction cross-lane access for the scope; `why` documents the contract
+// clause that makes it safe (shows up in greps, not at runtime).
+#define NVGAS_SHARD_CROSS(why)                       \
+  ::nvgas::sim::shardsan::SanctionScope NVGAS_SS_CONCAT(nvgas_ss_cross_, \
+                                                        __LINE__)
+
+// Owner tag for objects that cannot derive their lane from a member
+// (BlockStore, HeatMap): declares the owner/domain fields...
+#define NVGAS_SHARD_OWNER_DECL                                      \
+  std::uint32_t nvgas_ss_owner_ = ::nvgas::sim::shardsan::kNone;    \
+  const void* nvgas_ss_domain_ = nullptr
+
+// ...and binds them (no-op to rebind with identical values).
+#define NVGAS_SHARD_BIND(obj, lane, domain)                          \
+  do {                                                               \
+    (obj).nvgas_ss_owner_ = static_cast<std::uint32_t>(lane);        \
+    (obj).nvgas_ss_domain_ = (domain);                               \
+  } while (false)
+
+#else  // !NVGAS_SHARDSAN
+
+#define NVGAS_SHARD_GUARD(family, owner, domain) ((void)0)
+#define NVGAS_SHARD_GUARD_MEMBER(family) ((void)0)
+#define NVGAS_SHARD_HOP(domain, lane) ((void)0)
+#define NVGAS_SHARD_CROSS(why) ((void)0)
+#define NVGAS_SHARD_OWNER_DECL \
+  static_assert(true, "ShardSan compiled out")
+#define NVGAS_SHARD_BIND(obj, lane, domain) ((void)0)
+
+#endif  // NVGAS_SHARDSAN

@@ -1,0 +1,127 @@
+// ShardSan death tests: each lane-ownership violation must abort with a
+// diagnostic naming the object family and the owner/accessor lanes, and
+// the same programs must behave identically (die, or complete with
+// identical results) whether the parallel engine is compiled in or not —
+// ShardSan checks LOGICAL ownership, so a serial build catches the same
+// bugs a TSan run only sees under a lucky interleaving.
+//
+// This file is registered unconditionally (tests/CMakeLists.txt): the
+// EXPECT_DEATH cases are compiled only under -DNVGAS_SHARDSAN=ON, while
+// the mutation-style case compiles both ways and asserts the opposite
+// outcomes — caught when instrumented, silently "working" when not.
+#include <gtest/gtest.h>
+
+#include "net/config.hpp"
+#include "net/reliability.hpp"
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/fabric.hpp"
+#include "sim/shardsan.hpp"
+
+namespace {
+
+using nvgas::sim::Engine;
+using nvgas::sim::Time;
+
+nvgas::sim::MachineParams tiny_machine() {
+  nvgas::sim::MachineParams p;
+  p.nodes = 2;
+  p.workers_per_node = 1;
+  p.mem_bytes_per_node = 1 << 20;
+  return p;
+}
+
+#if NVGAS_SHARDSAN
+
+TEST(ShardSanDeath, CrossLaneNicMutationWithoutAdoptionAborts) {
+  // A task attributed to node 0 reaches straight into node 1's NIC and
+  // injects a frame. Node 1's TX port is lane-1-owned state; without an
+  // adopted context this is exactly the cross-shard mutation the
+  // sanitizer exists to catch — in the serial build too, where no data
+  // race ever materializes.
+  nvgas::sim::Fabric fabric(tiny_machine());
+  fabric.cpu(0).submit_at(10, [&fabric](nvgas::sim::TaskCtx& t) {
+    fabric.nic(1).send(t.now(), 0, 64, [](Time) {});
+  });
+  EXPECT_DEATH(fabric.engine().run(),
+               "ShardSan: cross-lane access to nic tx port");
+}
+
+#if NVGAS_PARALLEL
+TEST(ShardSanDeath, AtShardCallbackTouchingForeignWheelAborts) {
+  // Inside a lane-0 event, schedule directly onto lane 1's timing wheel.
+  // The sanctioned route is Engine::post (outbox handoff, drained at the
+  // window boundary); a direct at_shard from a foreign lane mutates the
+  // destination wheel in place.
+  Engine e;
+  e.configure_shards(/*nshards=*/2, /*lookahead=*/10, /*threads=*/1);
+  e.at_shard(0, 5, [&e] { e.at_shard(1, 50, [] {}); });
+  EXPECT_DEATH(e.run(), "ShardSan: cross-lane access to engine lane wheel");
+}
+#endif  // NVGAS_PARALLEL
+
+TEST(ShardSanDeath, RtoTimerArmedOnWrongLaneAborts) {
+  // Node 1 has a live unacked slot (armed from host context, which is
+  // sanctioned). A node-0 task then re-arms node 1's retransmit timer —
+  // reliability timer state is per-link, lane-1-owned.
+  nvgas::sim::Fabric fabric(tiny_machine());
+  nvgas::net::NetConfig cfg;
+  nvgas::net::ReliabilityGroup rels(fabric, cfg);
+  rels.at(1).send(0, 0, 64, [](Time) {});
+  // t=1, not 0: submit_at(now) pumps the task synchronously, which would
+  // abort before EXPECT_DEATH forks. t=1 parks it for run() — still well
+  // before the data frame's wire arrival retires the slot.
+  fabric.cpu(0).submit_at(1, [&rels](nvgas::sim::TaskCtx&) {
+    rels.at(1).shardsan_rearm_oldest_rto(0);
+  });
+  EXPECT_DEATH(fabric.engine().run(),
+               "ShardSan: cross-lane access to reliability rto timer");
+}
+
+TEST(ShardSanDeath, AdoptedContextAndHostContextStaySilent) {
+  // The sanctioned paths must not trip: host-context setup, an adopted
+  // ShardContext doing cross-lane setup, and ordinary self-lane traffic.
+  nvgas::sim::Fabric fabric(tiny_machine());
+  nvgas::net::NetConfig cfg;
+  nvgas::net::ReliabilityGroup rels(fabric, cfg);
+  int delivered = 0;
+  rels.at(0).send(0, 1, 64, [&delivered](Time) { ++delivered; });
+  {
+    // Adopt lane 0 (the classic engine has exactly one lane) and touch
+    // node 1's reliability endpoint: adopted contexts run quiesced, so
+    // the cross-lane access is sanctioned and must stay silent.
+    Engine::ShardContext adopt(fabric.engine(), 0);
+    rels.at(1).send(fabric.engine().now(), 0, 64,
+                    [&delivered](Time) { ++delivered; });
+  }
+  fabric.engine().run();
+  EXPECT_EQ(delivered, 2);
+}
+
+#endif  // NVGAS_SHARDSAN
+
+TEST(ShardSanMutation, SeededOwnershipBugCaughtOnlyWhenInstrumented) {
+  // Mutation-style check: seed a deliberate ownership bug — node 0's
+  // task issues a send FROM node 1's reliability endpoint (mutating
+  // node 1's TX window from node 0's context). Functionally the message
+  // still flows, so an uninstrumented build (and, in serial mode, TSan
+  // too — there is no host-thread race to see) passes cleanly; ShardSan
+  // must catch it with a diagnostic naming the family and both lanes.
+  nvgas::sim::Fabric fabric(tiny_machine());
+  nvgas::net::NetConfig cfg;
+  nvgas::net::ReliabilityGroup rels(fabric, cfg);
+  int delivered = 0;
+  fabric.cpu(0).submit_at(10, [&rels, &delivered](nvgas::sim::TaskCtx& t) {
+    rels.at(1).send(t.now(), 0, 64, [&delivered](Time) { ++delivered; });
+  });
+#if NVGAS_SHARDSAN
+  EXPECT_DEATH(fabric.engine().run(),
+               "ShardSan: cross-lane access to reliability tx window "
+               "\\(owner lane 1\\) from lane 0 context");
+#else
+  fabric.engine().run();
+  EXPECT_EQ(delivered, 1);
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,32 @@
+// simlint fixture: this file lives under a sim/ path component, so
+// dereferencing straight through a node-indexed accessor must fire D8
+// — under the sharded engine the target object belongs to another
+// lane, and the access bypasses Engine::post routing.
+#include <cstdint>
+
+struct FakeNic {
+  void enqueue(int k);
+  std::uint64_t inflight() const;
+};
+
+struct FakeStore {
+  void release(std::uint64_t lva, std::uint32_t len);
+};
+
+struct FakeFabric {
+  FakeNic& nic(int node);
+  FakeStore& store(int node);
+  FakeNic* node(int node);
+};
+
+void cross_lane(FakeFabric& fabric, int dst, std::uint64_t lva) {
+  fabric.nic(dst).enqueue(7);                          // simlint-expect(D8)
+  fabric.store(dst).release(lva, 64);                   // simlint-expect(D8)
+  fabric.node(dst)->enqueue(9);                        // simlint-expect(D8)
+}
+
+void cross_lane_read(const FakeFabric& fabric, int peer) {
+  // Reads count too: the heuristic cannot tell a racy read from a
+  // mutation, and const loads of foreign state are still unsynchronized.
+  (void)const_cast<FakeFabric&>(fabric).nic(peer).inflight();  // simlint-expect(D8)
+}

@@ -74,3 +74,29 @@ struct D7Quiet {
 static int d7_helper() { return D7Quiet::lookup(kTableSize); }
 
 int consume_d7() { return d7_helper() + kInlineLimit + static_cast<int>(kMagic); }
+
+// --- D8: node-accessor constructs that must stay quiet ------------------
+
+struct D8Nic {
+  void enqueue(int k);
+};
+
+struct D8Fabric {
+  D8Nic& nic(int node);
+  D8Nic& nic();  // argless overload: receiver is implicitly local
+  int nodes() const;
+};
+
+void d8_quiet(D8Fabric& fabric, int self) {
+  // Argless accessor: nothing node-indexed about the receiver.
+  fabric.nic().enqueue(1);
+  // Accessor result bound, not dereferenced inline: the binding site is
+  // where the ownership reasoning lives, and ShardSan checks it.
+  D8Nic& mine = fabric.nic(self);
+  mine.enqueue(2);
+  // Justified self-access through the indexed accessor.
+  fabric.nic(self).enqueue(3);  // simlint:allow(D8: self-indexed, receiver is this node's own NIC)
+  // Plain calls that merely *look* like accessors but have no
+  // dereference afterwards: fine.
+  (void)fabric.nodes();
+}

@@ -40,6 +40,16 @@ Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
       statics are a data race and a determinism hole, not a style
       smell. Legitimate cases (host-thread execution context, frozen
       tables) carry `simlint:allow(D7: shard-local why)`.
+  D8  heuristic: dereferencing straight through a node-indexed accessor
+      (`fabric.nic(dst).park(...)`, `heap_->store(home).release(...)`)
+      in src/sim, src/net or src/gas touches an object that belongs to
+      another lane under the sharded engine. Cross-lane work must route
+      via Engine::post/at_global or adopt the lane
+      (Engine::ShardContext); sites where the receiver is provably
+      local (self-indexed, barrier context, contract exception) carry
+      `simlint:allow(D8: why this context may touch the target)`.
+      ShardSan (docs/STATIC_ANALYSIS.md) verifies the same contract
+      dynamically; D8 is its static, review-time front line.
 
 Suppression: append `// simlint:allow(D1)` or
 `// simlint:allow(D1: justification)` to the offending line; a
@@ -73,6 +83,7 @@ RULES = {
     "D5": "by-reference lambda capture passed to Engine scheduling (dangling hazard)",
     "D6": "direct NIC injection bypassing the Explorer hook in Nic::send()",
     "D7": "mutable static-storage state in a shard-parallel tree (data race)",
+    "D8": "direct dereference through a node-indexed accessor (cross-lane access)",
 }
 
 
@@ -583,6 +594,44 @@ def check_d7(f: StrippedFile) -> list:
     return findings
 
 
+# --- D8: cross-lane access through node-indexed accessors --------------------
+
+# An accessor call with a non-empty argument immediately dereferenced:
+# `fabric.nic(dst).park_msg(...)`, `heap_->store(home).release(...)`.
+# Reaching through a node-indexed accessor and touching the object in
+# place is exactly how state escapes Engine::post routing under the
+# sharded engine. The argument must be paren-free (casts and nested
+# calls defeat the heuristic — those sites are ShardSan's job).
+D8_ACCESS_RE = re.compile(
+    r"\b(?:cpu|nic|mem|node|store)\s*\(\s*[^()]*[^\s()][^()]*\)\s*(?:\.|->)")
+
+
+def d8_exempt(path: str) -> bool:
+    # fabric.hpp defines the accessors themselves (and Fabric routes by
+    # construction); everything else justifies per site.
+    p = pathlib.PurePath(path)
+    return p.name == "fabric.hpp" and "sim" in p.parts
+
+
+def check_d8(f: StrippedFile) -> list:
+    if not in_shard_tree(f.path) or d8_exempt(f.path):
+        return []
+    findings = []
+    for m in D8_ACCESS_RE.finditer(f.code):
+        ln = line_of(f.code, m.start())
+        if is_suppressed(f, ln, "D8"):
+            continue
+        findings.append(
+            Finding(f.path, ln, "D8",
+                    "direct dereference through a node-indexed accessor: "
+                    "under the sharded engine the target object lives on "
+                    "another lane; route via Engine::post/at_global, adopt "
+                    "the lane (Engine::ShardContext), or annotate with "
+                    "simlint:allow(D8: <why this context may touch the "
+                    "target>)"))
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 def gather_files(paths: list) -> list:
@@ -627,6 +676,8 @@ def lint_paths(paths: list, rules: set) -> list:
             findings.extend(check_d6(f))
         if "D7" in rules:
             findings.extend(check_d7(f))
+        if "D8" in rules:
+            findings.extend(check_d8(f))
     findings.sort(key=lambda x: (x.path, x.line, x.rule))
     return findings
 
