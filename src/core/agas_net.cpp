@@ -38,10 +38,16 @@ AgasNet::AgasNet(sim::Fabric& fabric, net::EndpointGroup& endpoints,
                  gas::GlobalHeap& heap, gas::GasCosts costs,
                  AgasNetConfig config)
     : GasBase(fabric, endpoints, heap, costs), config_(config) {
+  // Host array of per-node NIC TLB devices; each TLB is capacity-bounded,
+  // so per-simulated-node state stays O(tlb_capacity), not O(P).
+  // protolint:allow(P4: host array of capacity-bounded per-node TLB devices)
   tlbs_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     tlbs_.push_back(std::make_unique<net::NicTlb>(config_.tlb_capacity));
   }
+  // The home directory is the AGAS authoritative map, one per world;
+  // ROADMAP item 2 shards it by owner rather than shrinking it.
+  // protolint:allow(P4: world-level AGAS home directory, sharded by owner under ROADMAP item 2)
   homes_.resize(static_cast<std::size_t>(fabric.nodes()));
 }
 

@@ -16,6 +16,9 @@ constexpr std::uint64_t kReplyBytes = 48;
 AgasSw::AgasSw(sim::Fabric& fabric, net::EndpointGroup& endpoints,
                GlobalHeap& heap, GasCosts costs)
     : GasBase(fabric, endpoints, heap, costs) {
+  // Host array of per-node SW translation caches; each cache is bounded by
+  // sw_cache_capacity, so per-simulated-node state is O(1).
+  // protolint:allow(P4: host array of capacity-bounded per-node SW caches)
   nodes_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     nodes_.emplace_back(costs_.sw_cache_capacity);

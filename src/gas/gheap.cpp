@@ -3,6 +3,7 @@
 namespace nvgas::gas {
 
 GlobalHeap::GlobalHeap(sim::Fabric& fabric) : fabric_(&fabric) {
+  // protolint:allow(P4: simulator-host array of the simulated machine's memories, not protocol state)
   stores_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     stores_.push_back(
@@ -10,6 +11,7 @@ GlobalHeap::GlobalHeap(sim::Fabric& fabric) : fabric_(&fabric) {
     NVGAS_SHARD_BIND(*stores_.back(), n, &fabric.engine());
   }
   if (fabric.engine().sharded()) {
+    // protolint:allow(P4: one counter per engine lane for the ShardSan audit pass, host diagnostics only)
     alloc_counts_.assign(static_cast<std::size_t>(fabric.nodes()), 0);
   }
 }

@@ -11,6 +11,7 @@ Balancer::Balancer(sim::Fabric& fabric, gas::GasBase& gas, const LbConfig& cfg)
     : fabric_(&fabric),
       gas_(&gas),
       cfg_(cfg),
+      // protolint:allow(P4: coordinator-resident heat table, one per world; sparse per-source rows are the ROADMAP item 2 follow-up)
       heat_(fabric.nodes()),
       policy_(make_policy(cfg.policy)) {
   NVGAS_CHECK(cfg_.coordinator >= 0 && cfg_.coordinator < fabric.nodes());
@@ -123,6 +124,7 @@ void Balancer::snapshot_placement(std::uint64_t epoch_idx) {
   snap_.ranks = ranks;
   snap_.epoch = epoch_idx;
   snap_.blocks.clear();
+  // protolint:allow(P4: coordinator-only aggregate rebuilt per epoch; ROADMAP item 2 keeps it on the single coordinator)
   snap_.node_load.assign(static_cast<std::size_t>(ranks), 0);
   for (const BlockHeat& v : views_) {
     const int owner = gas_->owner_of(gas::Gva(v.key)).first;

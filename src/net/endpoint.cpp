@@ -254,6 +254,7 @@ void Endpoint::raw_send(Time depart, int dst, std::uint64_t bytes,
 EndpointGroup::EndpointGroup(sim::Fabric& fabric, const NetConfig& config)
     : config_(config),
       rels_(std::make_unique<ReliabilityGroup>(fabric, config)) {
+  // protolint:allow(P4: simulator-host array, one Endpoint per simulated node)
   endpoints_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     endpoints_.push_back(std::make_unique<Endpoint>(fabric, n, config_));

@@ -12,7 +12,9 @@ Reliability::Reliability(sim::Fabric& fabric, int node, const NetConfig& cfg,
       node_(node),
       cfg_(cfg),
       group_(&group),
+      // protolint:allow(P4: dense per-(src,dst) send windows, the canonical reliability O(P) site; ROADMAP item 2 pools them over active peers)
       tx_(static_cast<std::size_t>(fabric.nodes())),
+      // protolint:allow(P4: dense per-(src,dst) receive windows; ROADMAP item 2 pools them over active peers)
       rx_(static_cast<std::size_t>(fabric.nodes())) {}
 
 std::int32_t Reliability::alloc_slot() {
@@ -268,6 +270,7 @@ void Reliability::simsan_double_cancel_rto(int dst) {
 #endif
 
 ReliabilityGroup::ReliabilityGroup(sim::Fabric& fabric, const NetConfig& cfg) {
+  // protolint:allow(P4: simulator-host array, one Reliability instance per simulated node)
   rels_.reserve(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     rels_.push_back(std::make_unique<Reliability>(fabric, n, cfg, *this));

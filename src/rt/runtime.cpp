@@ -24,6 +24,7 @@ bool Runtime::needs_route(int node) const {
 Runtime::Runtime(sim::Fabric& fabric, net::EndpointGroup& endpoints,
                  RtCosts costs)
     : fabric_(&fabric), endpoints_(&endpoints), costs_(costs) {
+  // protolint:allow(P4: simulator-host array, one runtime state per simulated node)
   states_.resize(static_cast<std::size_t>(fabric.nodes()));
   for (int n = 0; n < fabric.nodes(); ++n) {
     states_[static_cast<std::size_t>(n)].ctx = std::make_unique<Context>(*this, n);

@@ -16,6 +16,7 @@ Fabric::Fabric(const MachineParams& params)
                     "sharded engine needs wire_latency_ns >= 1 for lookahead");
     engine_.configure_shards(static_cast<std::uint32_t>(params_.nodes),
                              params_.wire_latency_ns, params_.threads);
+    // protolint:allow(P4: simulator-host array, one jitter RNG stream per simulated node for determinism)
     jitter_rngs_.reserve(static_cast<std::size_t>(params_.nodes));
     for (int n = 0; n < params_.nodes; ++n) {
       jitter_rngs_.emplace_back(
@@ -25,6 +26,7 @@ Fabric::Fabric(const MachineParams& params)
     }
   }
   counters_.resize(engine_.shards());
+  // protolint:allow(P4: simulator-host array, the simulated machine's nodes themselves)
   nodes_.reserve(static_cast<std::size_t>(params_.nodes));
   for (int n = 0; n < params_.nodes; ++n) {
     Node node;

@@ -1,0 +1,26 @@
+// protolint fixture (not compiled): P1 violations.
+// A send site whose action token was never registered (ghost handler),
+// and a registration no send/invoke site ever references (orphan).
+
+namespace fx1 {
+
+struct Registry {
+  int add(const char* name, int fn);
+};
+
+void wire(Registry& reg) {
+  int on_orphan = 1;
+  int orphan_ = 0;
+  orphan_ = register_action<int>(reg, "fx1.orphan", on_orphan);  // protolint-expect(P1)
+  (void)orphan_;
+}
+
+struct Ctx {
+  void send(int dst, int action, int args);
+};
+
+void emit(Ctx& c, int ghost_) {
+  c.send(1, ghost_, pack_args(7));  // protolint-expect(P1)
+}
+
+}  // namespace fx1

@@ -1,0 +1,21 @@
+// protolint fixture (not compiled): P2 violations.
+// Completion objects allocated but never resolved: whoever awaits them
+// hangs forever, and crash-stop recovery cannot fail them over.
+
+namespace fx2 {
+
+void half_round(sim::Time t) {
+  rt::Event never_done;  // protolint-expect(P2)
+  (void)t;               // the round returns without .set()
+}
+
+struct Gather {
+  std::unique_ptr<rt::AndGate> cell;
+
+  void open(std::uint64_t pieces) {
+    cell = std::make_unique<rt::AndGate>(pieces);  // protolint-expect(P2)
+  }
+  // no path ever calls cell->arrive(...)
+};
+
+}  // namespace fx2

@@ -1,0 +1,17 @@
+// protolint fixture (not compiled): P3 violation.
+// A park site with no matching wake anywhere in the program: the
+// parked task sleeps forever.
+
+namespace fx3 {
+
+struct TaskQueue {
+  void park_task(int id);
+};
+
+void stall(TaskQueue& q) {
+  q.park_task(1);  // protolint-expect(P3)
+}
+
+// Note: no unpark_task / deliver_task / wake_task exists anywhere.
+
+}  // namespace fx3

@@ -1,0 +1,21 @@
+// protolint fixture (not compiled): P5 violations.
+// An armed retransmission timer with no cancel() path, and a TimerId
+// discarded outright: both survive the completion they guard.
+
+namespace fx5 {
+
+struct Courier {
+  void arm(Engine& eng, sim::Time t) {
+    hb_ = eng.at_cancellable(t + rto_ns_, on_expire_);  // protolint-expect(P5)
+  }
+
+  void fire_and_forget(Engine& eng, sim::Time t) {
+    (void)eng.after_cancellable(t, on_expire_);  // protolint-expect(P5)
+  }
+
+  sim::TimerId hb_;
+  sim::Time rto_ns_ = 0;
+  int on_expire_ = 0;
+};
+
+}  // namespace fx5

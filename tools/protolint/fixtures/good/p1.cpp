@@ -1,0 +1,36 @@
+// protolint fixture (not compiled): P1 clean patterns.
+// Every registered action is sent, every sent token is registered —
+// including the accessor/setter indirection used by World::apply.
+
+namespace gx1 {
+
+struct Registry {
+  int add(const char* name, int fn);
+};
+
+struct Node {
+  int ping_ = 0;
+  int relay_action_ = 0;
+
+  void wire(Registry& reg, int on_ping, int on_relay) {
+    ping_ = register_action<int>(reg, "gx1.ping", on_ping);
+    int relay_id = reg_actions_.add("gx1.relay", on_relay);
+    set_relay_action(relay_id);
+  }
+
+  void set_relay_action(int id) { relay_action_ = id; }
+  int relay_action() const { return relay_action_; }
+
+  Registry reg_actions_;
+};
+
+struct Ctx {
+  void send(int dst, int action, int args);
+};
+
+void emit(Ctx& c, Node& node) {
+  c.send(1, node.ping_, pack_args(1));
+  send_parcel_at(0, 10, 1, node.relay_action(), pack_args(2));
+}
+
+}  // namespace gx1

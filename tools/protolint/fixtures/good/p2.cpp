@@ -1,0 +1,49 @@
+// protolint fixture (not compiled): P2 clean patterns.
+// Every completion object reaches a resolution: direct .set(), the
+// accessor call-form, a .get() alias, and the completion ledger.
+
+namespace gx2 {
+
+void wait_round(sim::Time t) {
+  rt::Event round_done;
+  round_done.set(t);
+}
+
+struct Pool {
+  std::vector<std::unique_ptr<rt::Future<double>>> pool_;
+
+  rt::Future<double>& acc_future(int gen) {
+    auto& slot = pool_[static_cast<std::size_t>(gen)];
+    if (!slot) slot = std::make_unique<rt::Future<double>>();
+    return *slot;
+  }
+};
+
+void harvest(Pool& p, sim::Time t) {
+  p.acc_future(0).set(1.0, t);
+}
+
+struct Fan {
+  std::unique_ptr<rt::AndGate> gate;
+
+  void open(std::uint64_t pieces, sim::Time t) {
+    gate = std::make_unique<rt::AndGate>(pieces);
+    auto* gp = gate.get();
+    gp->arrive(t);
+  }
+};
+
+struct Ledgered {
+  void stage(rt::Runtime& rt, int node) {
+    auto ev = std::make_unique<rt::Event>();
+    refs_.push_back(rt.register_lco(node, *ev));
+    keep_.push_back(std::move(ev));
+  }
+  void finish(rt::Runtime& rt, rt::LcoRef ref, sim::Time t) {
+    rt.ledger_set(ref, t);
+  }
+  std::vector<rt::LcoRef> refs_;
+  std::vector<std::unique_ptr<rt::Event>> keep_;
+};
+
+}  // namespace gx2

@@ -1,0 +1,19 @@
+// protolint fixture (not compiled): P3 clean pattern.
+// Park and wake sites paired on the same queue name.
+
+namespace gx3 {
+
+struct JobQueue {
+  void park_job(int id);
+  void unpark_job(int id);
+};
+
+void stall(JobQueue& q) {
+  q.park_job(7);
+}
+
+void kick(JobQueue& q) {
+  q.unpark_job(7);
+}
+
+}  // namespace gx3

@@ -1,0 +1,25 @@
+// protolint fixture (not compiled): P5 clean patterns.
+// An armed timer with a cancel() path, and a forwarding accessor whose
+// caller owns the returned TimerId.
+
+namespace gx5 {
+
+struct Courier {
+  void arm(Engine& eng, sim::Time t) {
+    hb_ = eng.at_cancellable(t + rto_ns_, on_expire_);
+  }
+
+  void disarm(Engine& eng) {
+    (void)eng.cancel(hb_);
+  }
+
+  sim::TimerId forward(Engine& eng, sim::Time t) {
+    return eng.after_cancellable(t, on_expire_);
+  }
+
+  sim::TimerId hb_;
+  sim::Time rto_ns_ = 0;
+  int on_expire_ = 0;
+};
+
+}  // namespace gx5

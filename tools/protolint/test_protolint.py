@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""protolint self-test.
+
+Fixture mode (default): `fixtures/good` and `fixtures/bad` are each
+linted as a separate whole program. Every bad-fixture line marked
+`// protolint-expect(<rule>)` must produce exactly that finding and
+nothing else may fire; the good fixtures (including their justified
+suppressions) must come back clean. Also checks the CLI exit-status
+contract and the shared nvgas-lint-v1 JSON schema.
+
+Mutation mode (--mutation): copies `src/` to a scratch tree, verifies
+the clean tree passes, then seeds three protocol bugs one at a time —
+a deleted register_action (P1), a completion resolved on no path (P2),
+an RTO whose cancel path is retargeted (P5) — and asserts protolint
+catches each with a diagnostic naming the token involved. This is the
+proof that the analyzer sees the real protocol graph, not just the
+fixtures.
+
+Run:  python3 tools/protolint/test_protolint.py [--mutation]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+sys.path.insert(0, str(HERE))
+
+import protolint  # noqa: E402
+
+EXPECT_RE = re.compile(r"protolint-expect\(([A-Za-z0-9]+)\)")
+
+
+def expected_findings(root: pathlib.Path):
+    expected = set()
+    for fp in sorted(root.rglob("*.cpp")):
+        for lineno, line in enumerate(
+                fp.read_text(encoding="utf-8").splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((str(fp), lineno, m.group(1)))
+    return expected
+
+
+def fixture_test() -> list:
+    failures = []
+    fixtures = HERE / "fixtures"
+    all_rules = set(protolint.RULES)
+
+    # good/ and bad/ are separate whole programs: a wake or registration
+    # in good/ must not satisfy a park or send in bad/.
+    expected = expected_findings(fixtures / "bad")
+    actual = {(f.path, f.line, f.rule)
+              for f in protolint.lint_paths([str(fixtures / "bad")],
+                                            all_rules)}
+    for miss in sorted(expected - actual):
+        failures.append(f"MISSING: expected {miss[2]} at {miss[0]}:{miss[1]} "
+                        "did not fire")
+    for extra in sorted(actual - expected):
+        failures.append(f"SPURIOUS: unexpected {extra[2]} at "
+                        f"{extra[0]}:{extra[1]}")
+    fired_rules = {r for (_, _, r) in actual}
+    for rule in protolint.RULES:
+        if rule not in fired_rules:
+            failures.append(f"COVERAGE: no bad fixture exercises rule {rule}")
+
+    good = protolint.lint_paths([str(fixtures / "good")], all_rules)
+    for f in good:
+        failures.append(f"GOOD: clean fixture produced {f.render()}")
+
+    # CLI contract: violations exit 1, clean program exits 0.
+    bad_run = subprocess.run(
+        [sys.executable, str(HERE / "protolint.py"), str(fixtures / "bad")],
+        capture_output=True, text=True)
+    if bad_run.returncode != 1:
+        failures.append(f"CLI: expected exit 1 on bad fixtures, got "
+                        f"{bad_run.returncode}\n{bad_run.stdout}"
+                        f"{bad_run.stderr}")
+    good_run = subprocess.run(
+        [sys.executable, str(HERE / "protolint.py"), str(fixtures / "good")],
+        capture_output=True, text=True)
+    if good_run.returncode != 0:
+        failures.append(f"CLI: expected exit 0 on good fixtures, got "
+                        f"{good_run.returncode}\n{good_run.stdout}"
+                        f"{good_run.stderr}")
+
+    # Shared JSON schema: same shape simlint emits, tool field differs.
+    js_run = subprocess.run(
+        [sys.executable, str(HERE / "protolint.py"), "--json",
+         str(fixtures / "bad")],
+        capture_output=True, text=True)
+    try:
+        doc = json.loads(js_run.stdout)
+        if doc.get("schema") != "nvgas-lint-v1":
+            failures.append(f"JSON: schema is {doc.get('schema')!r}, "
+                            "expected 'nvgas-lint-v1'")
+        if doc.get("tool") != "protolint":
+            failures.append(f"JSON: tool is {doc.get('tool')!r}")
+        if doc.get("count") != len(doc.get("findings", [])):
+            failures.append("JSON: count does not match findings length")
+        for field in ("path", "line", "rule", "message"):
+            if doc["findings"] and field not in doc["findings"][0]:
+                failures.append(f"JSON: finding missing field {field!r}")
+    except (json.JSONDecodeError, KeyError) as e:
+        failures.append(f"JSON: bad output ({e}): {js_run.stdout[:200]}")
+
+    return failures
+
+
+# Each mutation: (name, file, pattern, replacement, rule,
+#                 substrings the diagnostic must contain).
+MUTATIONS = [
+    ("deleted-register_action",
+     "src/rt/collectives.cpp",
+     r"barrier_release_ = register_action",
+     "barrier_release_zombie_ = register_action",
+     "P1",
+     ["barrier_release_"]),
+    ("unresolved-completion-ledger",
+     "src/rt/termination.cpp",
+     r"done_\[static_cast<std::size_t>\(c\.rank\(\)\)\]->set\(c\.now\(\)\);",
+     ";",
+     "P2",
+     ["done_"]),
+    ("unpaired-arm_rto",
+     "src/net/reliability.cpp",
+     r"cancel\(s\.rto\)",
+     "cancel(s.rto_leak)",
+     "P5",
+     ["rto"]),
+]
+
+
+def mutation_test() -> list:
+    failures = []
+    all_rules = set(protolint.RULES)
+    with tempfile.TemporaryDirectory(prefix="protolint-mut-") as td:
+        scratch = pathlib.Path(td) / "src"
+        shutil.copytree(REPO / "src", scratch)
+
+        baseline = protolint.lint_paths([str(scratch)], all_rules)
+        for f in baseline:
+            failures.append(f"BASELINE: clean tree produced {f.render()}")
+        if failures:
+            return failures
+
+        for name, rel, pattern, repl, rule, need in MUTATIONS:
+            target = scratch / pathlib.Path(rel).relative_to("src")
+            original = target.read_text(encoding="utf-8")
+            mutated, n = re.subn(pattern, repl, original)
+            if n == 0:
+                failures.append(f"{name}: pattern {pattern!r} not found in "
+                                f"{rel}; mutation is stale")
+                continue
+            target.write_text(mutated, encoding="utf-8")
+            try:
+                findings = protolint.lint_paths([str(scratch)], all_rules)
+                hits = [f for f in findings if f.rule == rule]
+                if not hits:
+                    failures.append(
+                        f"{name}: seeded {rule} bug in {rel} was NOT caught "
+                        f"(findings: {[f.render() for f in findings]})")
+                    continue
+                blob = " ".join(f.message for f in hits)
+                for sub in need:
+                    if sub not in blob:
+                        failures.append(
+                            f"{name}: {rule} diagnostic does not name "
+                            f"{sub!r}: {[f.render() for f in hits]}")
+            finally:
+                target.write_text(original, encoding="utf-8")
+    return failures
+
+
+def main() -> int:
+    mutation = "--mutation" in sys.argv[1:]
+    failures = mutation_test() if mutation else fixture_test()
+    mode = "mutation" if mutation else "fixture"
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"protolint self-test ({mode}): FAILED "
+              f"({len(failures)} problem(s))", file=sys.stderr)
+        return 1
+    if mutation:
+        print(f"protolint self-test (mutation): OK "
+              f"({len(MUTATIONS)} seeded protocol bugs caught)")
+    else:
+        expected = expected_findings(HERE / "fixtures" / "bad")
+        print(f"protolint self-test (fixture): OK ({len(expected)} seeded "
+              f"violations, {len(protolint.RULES)} rules covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

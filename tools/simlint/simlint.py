@@ -58,6 +58,8 @@ rules may share one directive: `simlint:allow(D1,D3: reason)`.
 
 Usage:
   simlint.py [PATH ...]            lint files / directories (default: src)
+  simlint.py --json ...            emit findings as nvgas-lint-v1 JSON
+  simlint.py --github-annotations  emit GitHub ::error workflow commands
   simlint.py --list-unordered ...  dump the unordered-container symbol table
 
 Exit status: 0 clean, 1 violations, 2 usage error.
@@ -66,14 +68,23 @@ Exit status: 0 clean, 1 violations, 2 usage error.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import pathlib
 import re
 import sys
 
-SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h", ".ipp"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+import lintkit  # noqa: E402  (shared stripper/Finding/output machinery)
 
-ALLOW_RE = re.compile(r"simlint:allow\(\s*([A-Za-z0-9_,\s]+?)\s*(?::[^)]*)?\)")
+SOURCE_SUFFIXES = lintkit.SOURCE_SUFFIXES
+
+ALLOW_RE = lintkit.allow_re("simlint")
+
+# Re-exported so rule code (and external callers) keep their names.
+Finding = lintkit.Finding
+StrippedFile = lintkit.StrippedFile
+line_of = lintkit.line_of
+line_text = lintkit.line_text
+is_suppressed = lintkit.is_suppressed
 
 RULES = {
     "D1": "unordered-container discipline (nondeterministic iteration order)",
@@ -87,153 +98,8 @@ RULES = {
 }
 
 
-@dataclasses.dataclass(frozen=True)
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
-
-
-@dataclasses.dataclass
-class StrippedFile:
-    path: str
-    code: str  # comments and literal contents blanked, newlines preserved
-    allows: dict  # line (1-based) -> set of rule ids suppressed there
-
-
 def strip_and_collect(path: str, text: str) -> StrippedFile:
-    """Blank out comments and string/char literal contents (preserving
-    newlines and column positions), collecting simlint:allow directives
-    from comment text as we go."""
-    out = []
-    allows: dict[int, set[str]] = {}
-    line = 1
-    i = 0
-    n = len(text)
-    comment_start_line = 0
-    comment_buf: list[str] = []
-
-    def note_allow(buf: str, at_line: int) -> None:
-        for m in ALLOW_RE.finditer(buf):
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            allows.setdefault(at_line, set()).update(rules)
-
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                comment_start_line = line
-                comment_buf = []
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                comment_start_line = line
-                comment_buf = []
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                # Raw string literal? Look back for R / u8R / LR etc.
-                m = re.search(r'(?:u8|[uUL])?R$', "".join(out[-3:]))
-                if m and text[i - 1] == "R":
-                    j = text.find("(", i + 1)
-                    raw_delim = ")" + text[i + 1 : j] + '"' if j > 0 else ')"'
-                    state = "raw"
-                else:
-                    state = "string"
-                out.append('"')
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append("'")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                note_allow("".join(comment_buf), comment_start_line)
-                state = "code"
-                out.append("\n")
-            else:
-                comment_buf.append(c)
-                out.append(" " if c != "\n" else c)
-            i += 1
-            if c == "\n":
-                line += 1
-            continue
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                note_allow("".join(comment_buf), comment_start_line)
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            comment_buf.append(c)
-            out.append(c if c == "\n" else " ")
-        elif state == "string":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "code"
-                out.append('"')
-            else:
-                out.append(c if c == "\n" else " ")
-        elif state == "char":
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == "'":
-                state = "code"
-                out.append("'")
-            else:
-                out.append(" ")
-        elif state == "raw":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                out.append('"')
-                i += len(raw_delim)
-                continue
-            out.append(c if c == "\n" else " ")
-        if c == "\n":
-            line += 1
-        i += 1
-    if state in ("line_comment", "block_comment"):
-        note_allow("".join(comment_buf), comment_start_line)
-    return StrippedFile(path=path, code="".join(out), allows=allows)
-
-
-def line_of(code: str, offset: int) -> int:
-    return code.count("\n", 0, offset) + 1
-
-
-def line_text(code: str, lineno: int) -> str:
-    lines = code.split("\n")
-    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
-
-
-def is_suppressed(f: StrippedFile, lineno: int, rule: str) -> bool:
-    if rule in f.allows.get(lineno, set()):
-        return True
-    # A standalone suppression comment (no code on its line) covers the
-    # next line — handy above multi-line declarations.
-    prev = lineno - 1
-    if rule in f.allows.get(prev, set()) and not line_text(f.code, prev).strip():
-        return True
-    return False
+    return lintkit.strip_and_collect(path, text, tool="simlint")
 
 
 # --- D1: unordered-container discipline -------------------------------------
@@ -635,19 +501,7 @@ def check_d8(f: StrippedFile) -> list:
 # --- driver ------------------------------------------------------------------
 
 def gather_files(paths: list) -> list:
-    files = []
-    for p in paths:
-        path = pathlib.Path(p)
-        if path.is_dir():
-            files.extend(
-                sorted(q for q in path.rglob("*")
-                       if q.suffix in SOURCE_SUFFIXES and q.is_file()))
-        elif path.is_file():
-            files.append(path)
-        else:
-            print(f"simlint: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return files
+    return lintkit.gather_files(paths, prog="simlint")
 
 
 def lint_paths(paths: list, rules: set) -> list:
@@ -691,6 +545,7 @@ def main(argv: list) -> int:
                     help="comma-separated rule subset (default: all)")
     ap.add_argument("--list-unordered", action="store_true",
                     help="dump the unordered-container symbol table and exit")
+    lintkit.add_output_args(ap)
     args = ap.parse_args(argv)
 
     rules = {r.strip() for r in args.rules.split(",") if r.strip()}
@@ -711,14 +566,8 @@ def main(argv: list) -> int:
         return 0
 
     findings = lint_paths(paths, rules)
-    for f in findings:
-        print(f.render())
-    if findings:
-        print(f"simlint: {len(findings)} violation(s) "
-              f"across rules {{{', '.join(sorted({f.rule for f in findings}))}}}",
-              file=sys.stderr)
-        return 1
-    return 0
+    return lintkit.emit(findings, "simlint", as_json=args.json,
+                        github=args.github_annotations)
 
 
 if __name__ == "__main__":
