@@ -1,0 +1,231 @@
+#include "kvstore/mcheck_kv.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "kvstore/server.hpp"
+#include "util/format.hpp"
+
+namespace nvgas::apps::kv {
+namespace {
+
+constexpr std::uint8_t kTagOld = 0xAA;
+constexpr std::uint8_t kTagNew = 0xBB;
+
+std::vector<std::byte> kv_key(std::uint64_t k) {
+  std::vector<std::byte> out(sizeof k);
+  std::memcpy(out.data(), &k, sizeof k);
+  return out;
+}
+
+std::vector<std::byte> kv_val(std::uint8_t tag) {
+  return std::vector<std::byte>(8, static_cast<std::byte>(tag));
+}
+
+// Shared between the scenario fibers, the reply handler, and the
+// post-drain verifier.
+struct CheckState {
+  std::unique_ptr<KvServer> server;
+  rt::ActionId reply_action = rt::kInvalidAction;
+  std::map<std::uint64_t, rt::Event*> waiting;
+  std::map<std::uint64_t, int> acks;
+  std::set<std::uint64_t> issued;
+  std::uint64_t dels_issued = 0;
+};
+
+// Issue one request and note the token as outstanding. The caller
+// co_awaits `turn` after the submit completes; the reply handler sets it.
+ReqMeta arm(CheckState& st, rt::Context& c, std::uint64_t token,
+            rt::Event& turn) {
+  ReqMeta m;
+  m.token = token;
+  m.t_issue = c.now();
+  m.reply_action = st.reply_action;
+  m.reply_node = c.rank();
+  st.waiting[token] = &turn;
+  st.issued.insert(token);
+  return m;
+}
+
+}  // namespace
+
+core::Scenario kv_put_get_del_scenario() {
+  core::Scenario s;
+  s.name = "kv-put-get-del";
+  s.description = "kvstore PUT/DEL race with reads and a bucket migration; "
+                  "no torn GETs, exactly-once acks, exact DEL ledger";
+  s.start = [](World& world, gas::InvariantObserver& obs) {
+    auto st = std::make_shared<CheckState>();
+    KvParams kp;
+    kp.buckets = 2;
+    kp.slots_per_bucket = 4;
+    kp.value_size = 8;
+    st->server = std::make_unique<KvServer>(world, kp);
+    st->reply_action = world.runtime().actions().add(
+        "kvcheck.reply", [st, &obs](Context& c, int, util::Buffer raw) {
+          const Response rp = decode_response(raw);
+          const int n = ++st->acks[rp.hdr.token];
+          if (n > 1) {
+            obs.fail(util::format(
+                "kv-put-get-del: token %llu acknowledged %d times",
+                static_cast<unsigned long long>(rp.hdr.token), n));
+          }
+          if (rp.hdr.op == OP_GET && rp.hdr.code == kOk) {
+            // The value must be whole: every byte carries one writer's
+            // tag. A mix is a torn read of the delete-then-overwrite.
+            bool whole = !rp.value.empty();
+            const std::byte tag = rp.value.empty() ? std::byte{0} : rp.value[0];
+            for (const std::byte b : rp.value) whole = whole && b == tag;
+            const auto t = static_cast<std::uint8_t>(tag);
+            if (!whole || (t != kTagOld && t != kTagNew)) {
+              obs.fail(util::format(
+                  "kv-put-get-del: GET (token %llu) returned a torn or "
+                  "corrupt value (first byte %02x)",
+                  static_cast<unsigned long long>(rp.hdr.token), t));
+            }
+          }
+          auto it = st->waiting.find(rp.hdr.token);
+          if (it != st->waiting.end()) {
+            it->second->set(c.now());
+            st->waiting.erase(it);
+          }
+        });
+
+    world.spawn(0, [&world, st](Context& ctx) -> Fiber {
+      st->server->setup(ctx);
+      const int n = ctx.ranks();
+      const std::uint64_t kidx = 7;
+      const auto key = kv_key(kidx);
+
+      MsgHdr put;
+      put.op = OP_PUT;
+      put.klen = 8;
+      put.vlen = 8;
+      MsgHdr del;
+      del.op = OP_DEL;
+      del.klen = 8;
+      MsgHdr get;
+      get.op = OP_GET;
+      get.klen = 8;
+
+      // Writer A: PUT old, DEL, re-PUT new — each step acked before the
+      // next, so A's program order pins what finals are legal.
+      ctx.spawn(1 % n, [st, key, put, del](Context& c) -> Fiber {
+        {
+          // protolint:allow(P2: arm() parks &turn in st->waiting; the kvcheck.reply handler resolves it)
+      rt::Event turn;
+          co_await st->server->submit(c, put, key, kv_val(kTagOld),
+                                      arm(*st, c, 1, turn));
+          co_await turn;
+        }
+        {
+          // protolint:allow(P2: arm() parks &turn in st->waiting; the kvcheck.reply handler resolves it)
+      rt::Event turn;
+          st->dels_issued++;
+          co_await st->server->submit(c, del, key, {},
+                                      arm(*st, c, 2, turn));
+          co_await turn;
+        }
+        {
+          // protolint:allow(P2: arm() parks &turn in st->waiting; the kvcheck.reply handler resolves it)
+      rt::Event turn;
+          co_await st->server->submit(c, put, key, kv_val(kTagNew),
+                                      arm(*st, c, 3, turn));
+          co_await turn;
+        }
+      });
+
+      // Writer B: one racing DEL, unordered against all of A's steps.
+      ctx.spawn(2 % n, [st, key, del](Context& c) -> Fiber {
+        // protolint:allow(P2: arm() parks &turn in st->waiting; the kvcheck.reply handler resolves it)
+      rt::Event turn;
+        st->dels_issued++;
+        co_await st->server->submit(c, del, key, {}, arm(*st, c, 100, turn));
+        co_await turn;
+      });
+
+      // Reader: a burst of GETs racing both writers and the migration.
+      ctx.spawn(3 % n, [st, key, get](Context& c) -> Fiber {
+        for (std::uint64_t i = 0; i < 3; ++i) {
+          // protolint:allow(P2: arm() parks &turn in st->waiting; the kvcheck.reply handler resolves it)
+      rt::Event turn;
+          co_await st->server->submit(c, get, key, {},
+                                      arm(*st, c, 200 + i, turn));
+          co_await turn;
+        }
+      });
+
+      // Migrate the key's bucket underneath the race where the manager
+      // supports it (the pgas baseline serves in place).
+      if (world.gas().supports_migration()) {
+        const Gva baddr = st->server->bucket_addr(st->server->bucket_of(key));
+        ctx.spawn(0, [baddr, n](Context& c) -> Fiber {
+          co_await migrate(c, baddr, 2 % n);
+          co_await migrate(c, baddr, 3 % n);
+        });
+      }
+      co_return;
+    });
+
+    return std::function<void()>([&world, &obs, st] {
+      // Exactly-once acks: every issued token answered exactly once
+      // (duplicates were flagged as they arrived).
+      for (const std::uint64_t tok : st->issued) {
+        const auto it = st->acks.find(tok);
+        if (it == st->acks.end() || it->second != 1) {
+          obs.fail(util::format(
+              "kv-put-get-del: token %llu acknowledged %d times (want 1)",
+              static_cast<unsigned long long>(tok),
+              it == st->acks.end() ? 0 : it->second));
+          return;
+        }
+      }
+      // Exact DEL ledger: each client DEL applied or missed, never both,
+      // never dropped. TTLs are unused here, so expirations stay 0.
+      const Metrics m = st->server->total_metrics();
+      if (m.dels_applied + m.dels_missed != st->dels_issued) {
+        obs.fail(util::format(
+            "kv-put-get-del: DEL ledger %llu applied + %llu missed != "
+            "%llu issued",
+            static_cast<unsigned long long>(m.dels_applied),
+            static_cast<unsigned long long>(m.dels_missed),
+            static_cast<unsigned long long>(st->dels_issued)));
+        return;
+      }
+      // Final state: the key is either absent or holds the whole NEW
+      // value. The old value can never be resurrected: writer A only
+      // re-PUT after its DEL was acked.
+      const std::uint64_t kidx = 7;
+      const auto key = kv_key(kidx);
+      const std::uint64_t h = st->server->hash_key(key);
+      const Gva baddr = st->server->bucket_addr(st->server->bucket_of(key));
+      const auto [owner, lva] = world.gas().owner_of(baddr);
+      const std::uint32_t ssize = st->server->slot_size();
+      for (std::uint32_t slot = 0; slot < st->server->params().slots_per_bucket;
+           ++slot) {
+        const std::uint64_t base = lva + slot * ssize;
+        const auto slot_hash =
+            world.fabric().mem(owner).load<std::uint64_t>(base);
+        const auto packed =
+            world.fabric().mem(owner).load<std::uint32_t>(base + 12);
+        const auto state = static_cast<std::uint8_t>(packed & 0xff);
+        if (slot_hash != h || state != kSlotLive) continue;
+        const auto value =
+            world.fabric().mem(owner).load<std::uint64_t>(base + 24);
+        if (value != 0xBBBBBBBBBBBBBBBBull) {
+          obs.fail(util::format(
+              "kv-put-get-del: final live value %llx at owner %d, want "
+              "all-%02x or absent",
+              static_cast<unsigned long long>(value), owner, kTagNew));
+        }
+        return;
+      }
+    });
+  };
+  return s;
+}
+
+}  // namespace nvgas::apps::kv

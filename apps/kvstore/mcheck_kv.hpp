@@ -1,0 +1,23 @@
+// mcheck scenario for the kvstore: a PUT/DEL race with a concurrent
+// reader while the key's bucket migrates. Lives in apps/ (not core/) so
+// the model checker gains app coverage without core depending on apps;
+// tools/mcheck.cpp appends it to the built-in library.
+#pragma once
+
+#include "core/mcheck.hpp"
+
+namespace nvgas::apps::kv {
+
+// Invariants checked under delay-bounded exploration:
+//   - a GET never returns a torn value (all value bytes must carry the
+//     writer's tag), even when the read races a delete-then-overwrite
+//     and a migration of the bucket block;
+//   - every request is acknowledged exactly once (no duplicate or
+//     dropped responses);
+//   - the DEL ledger is exact: dels_applied + dels_missed equals the
+//     number of client DELs issued;
+//   - at quiescence the key is either absent or holds the whole final
+//     value (the delete-then-overwrite can never resurrect the old one).
+[[nodiscard]] core::Scenario kv_put_get_del_scenario();
+
+}  // namespace nvgas::apps::kv

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "sim/engine.hpp"
 #include "sim/reference_engine.hpp"
 #include "util/options.hpp"
@@ -321,8 +322,12 @@ int main(int argc, char** argv) {
   const std::uint64_t events =
       !pos.empty() ? std::strtoull(pos[0].c_str(), nullptr, 10) : 2'000'000ULL;
   const std::string out = pos.size() > 1 ? pos[1] : "BENCH_engine.json";
-  const auto sweep_nodes = opt.get_uint_list("sweep-nodes", {16, 64});
-  const auto sweep_threads = opt.get_uint_list("sweep-threads", {1, 2, 4, 8});
+  const SweepSpec sweep =
+      parse_sweep(opt, {.modes = "all",
+                        .nodes = {16, 64},
+                        .threads = {1, 2, 4, 8}});
+  const auto& sweep_nodes = sweep.nodes;
+  const auto& sweep_threads = sweep.threads;
   if (events == 0) {
     std::fprintf(stderr,
                  "usage: %s [events_per_workload > 0] [out.json]\n"

@@ -13,6 +13,7 @@
 #include "sim/topology.hpp"
 #include "util/buffer.hpp"
 #include "util/histogram.hpp"
+#include "util/zipf.hpp"
 #include "util/rng.hpp"
 
 namespace {

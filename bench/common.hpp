@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/nvgas.hpp"
+#include "util/options.hpp"
 
 namespace nvgas::bench {
 
@@ -27,6 +28,46 @@ inline GasMode parse_mode(const std::string& s) {
 
 inline std::vector<GasMode> all_modes() {
   return {GasMode::kPgas, GasMode::kAgasSw, GasMode::kAgasNet};
+}
+
+// Shared --sweep-* axis parsing. Sweep harnesses accept the same flag
+// vocabulary (`--sweep-modes=pgas,agas-net|all`, `--sweep-nodes=16,64`,
+// `--sweep-threads=1,2,4`); each binary supplies its own defaults and
+// reads the axes it sweeps.
+struct SweepSpec {
+  std::vector<GasMode> modes;
+  std::vector<std::uint64_t> nodes;
+  std::vector<std::uint64_t> threads;
+};
+
+struct SweepDefaults {
+  std::string modes = "all";
+  std::vector<std::uint64_t> nodes;
+  std::vector<std::uint64_t> threads;
+};
+
+inline std::vector<GasMode> parse_mode_list(const std::string& s) {
+  if (s == "all") return all_modes();
+  std::vector<GasMode> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(parse_mode(s.substr(pos, end - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  NVGAS_CHECK_MSG(!out.empty(), "empty --sweep-modes list");
+  return out;
+}
+
+inline SweepSpec parse_sweep(const util::Options& opt,
+                             const SweepDefaults& def) {
+  SweepSpec s;
+  s.modes = parse_mode_list(opt.get("sweep-modes", def.modes));
+  s.nodes = opt.get_uint_list("sweep-nodes", def.nodes);
+  s.threads = opt.get_uint_list("sweep-threads", def.threads);
+  return s;
 }
 
 inline void print_header(const char* experiment, const char* what) {

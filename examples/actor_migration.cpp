@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/nvgas.hpp"
+#include "util/zipf.hpp"
 
 namespace {
 

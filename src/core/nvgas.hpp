@@ -13,5 +13,6 @@
 #include "rt/lco.hpp"          // IWYU pragma: export
 #include "util/options.hpp"    // IWYU pragma: export
 #include "util/rng.hpp"        // IWYU pragma: export
+#include "util/zipf.hpp"       // IWYU pragma: export
 #include "util/stats.hpp"      // IWYU pragma: export
 #include "util/table.hpp"      // IWYU pragma: export

@@ -6,9 +6,7 @@
 // statistical quality for workload generation; SplitMix64 expands seeds.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
-#include <vector>
 
 #include "util/assert.hpp"
 
@@ -97,42 +95,7 @@ class Rng {
   std::uint64_t s1_ = 0;
 };
 
-// Zipf-distributed integers in [0, n) with exponent s, used for skewed
-// (hot-spot) workload generation. Precomputes the CDF once; sampling is a
-// binary search. Memory is O(n), fine for the ≤2^20 key ranges we use.
-class ZipfGenerator {
- public:
-  ZipfGenerator(std::uint64_t n, double s) : cdf_(n) {
-    NVGAS_CHECK(n > 0);
-    double accum = 0.0;
-    for (std::uint64_t k = 0; k < n; ++k) {
-      accum += 1.0 / std::pow(static_cast<double>(k + 1), s);
-      cdf_[k] = accum;
-    }
-    const double total = accum;
-    for (auto& v : cdf_) v /= total;
-  }
-
-  std::uint64_t sample(Rng& rng) const {
-    const double u = rng.uniform();
-    // Binary search for the first CDF entry >= u.
-    std::size_t lo = 0;
-    std::size_t hi = cdf_.size() - 1;
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (cdf_[mid] < u) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  }
-
-  [[nodiscard]] std::uint64_t domain() const { return cdf_.size(); }
-
- private:
-  std::vector<double> cdf_;
-};
+// ZipfGenerator moved to util/zipf.hpp (shared by the bench drivers and
+// the kvstore client generator).
 
 }  // namespace nvgas::util

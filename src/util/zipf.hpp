@@ -1,0 +1,64 @@
+// Zipf-distributed sampling for skewed (hot-spot) workload generation.
+//
+// Factored out of rng.hpp so workload generators (bench drivers, the
+// kvstore client generator) can share one deterministic sampler: the
+// CDF is precomputed once, sampling is a binary search, and the drawn
+// sequence depends only on the Rng stream — never on host state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nvgas::util {
+
+// Zipf-distributed integers in [0, n) with exponent s. Precomputes the
+// CDF once; sampling is a binary search. Memory is O(n), fine for the
+// ≤2^20 key ranges we use. s == 0 degenerates to the uniform
+// distribution, which tests use as a closed-form cross-check.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double s) : cdf_(n) {
+    NVGAS_CHECK(n > 0);
+    double accum = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      accum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = accum;
+    }
+    const double total = accum;
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // P(sample == k), from the normalized CDF. Exact in the same floating
+  // arithmetic the sampler uses, so tests can assert against it.
+  [[nodiscard]] double pmf(std::uint64_t k) const {
+    NVGAS_CHECK(k < cdf_.size());
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  [[nodiscard]] std::uint64_t domain() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nvgas::util

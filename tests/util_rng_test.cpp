@@ -1,4 +1,5 @@
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 #include <gtest/gtest.h>
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/nvgas.hpp"
+#include "kvstore/harness.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -244,6 +245,27 @@ std::uint64_t world_faults_dupdelay(std::uint64_t s, int t) {
   return world_hash(Mode, s, probe_dupdelay_plan(), t);
 }
 
+// Scenario E: the kvstore application end-to-end — Zipf-skewed open-loop
+// client traffic, per-bucket locking, TTL timers, hot-set rotation with
+// the hysteresis balancer responding. The densest timer/parcel workload
+// in the tree, so it is the best canary for lane-ordering bugs.
+template <nvgas::GasMode Mode>
+std::uint64_t kv_hash(std::uint64_t seed, int threads) {
+  nvgas::apps::kv::KvRunConfig rc;
+  rc.mode = Mode;
+  rc.nodes = 8;
+  rc.threads = threads;
+  rc.policy = nvgas::lb::PolicyKind::kHysteresis;
+  rc.kv.buckets = 32;
+  rc.client.keyspace = 256;
+  rc.client.rate_per_node = 2.0e5;
+  rc.client.t_start = 30'000;
+  rc.client.duration = 250'000;
+  rc.client.t_shift = 160'000;
+  rc.client.seed = seed;
+  return nvgas::apps::kv::run_kv(rc).trace_hash;
+}
+
 constexpr Scenario kScenarios[] = {
     {"engine_wheel", wheel, false},
     {"engine_shards", engine_shards_hash, true},
@@ -273,6 +295,9 @@ constexpr Scenario kScenarios[] = {
      true},
     {"faults_agas_net_dupdelay",
      world_faults_dupdelay<nvgas::GasMode::kAgasNet>, true},
+    {"kvstore_pgas", kv_hash<nvgas::GasMode::kPgas>, true},
+    {"kvstore_agas_sw", kv_hash<nvgas::GasMode::kAgasSw>, true},
+    {"kvstore_agas_net", kv_hash<nvgas::GasMode::kAgasNet>, true},
 };
 
 // --parallel: every World scenario at 2/4/8 host threads must reproduce

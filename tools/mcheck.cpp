@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "kvstore/mcheck_kv.hpp"
 #include "core/mcheck.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::vector<Scenario> library = nvgas::core::scenario_library();
+  std::vector<Scenario> library = nvgas::core::scenario_library();
+  // App-level scenarios ride along without core depending on apps.
+  library.push_back(nvgas::apps::kv::kv_put_get_del_scenario());
   if (opts.has("list")) {
     for (const auto& sc : library) {
       std::printf("%-20s %s\n", sc.name.c_str(), sc.description.c_str());

@@ -23,4 +23,8 @@ void emit(Ctx& c, int ghost_) {
   c.send(1, ghost_, pack_args(7));  // protolint-expect(P1)
 }
 
+void emit_located(Ctx& c, int phantom_) {
+  apply(c, 40, phantom_, pack_args(8));  // protolint-expect(P1)
+}
+
 }  // namespace fx1

@@ -33,4 +33,18 @@ void emit(Ctx& c, Node& node) {
   send_parcel_at(0, 10, 1, node.relay_action(), pack_args(2));
 }
 
+// An action whose only dispatch edge is the address-located
+// World::apply(ctx, gva, action, args) invoke.
+struct Located {
+  int lookup_ = 0;
+  void wire(Registry& reg, int on_lookup) {
+    lookup_ = reg_actions_.add("gx1.lookup", on_lookup);
+  }
+  Registry reg_actions_;
+};
+
+void emit_located(Ctx& c, Located& node, int gva) {
+  apply(c, gva, node.lookup_, pack_args(3));
+}
+
 }  // namespace gx1

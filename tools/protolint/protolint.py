@@ -243,6 +243,9 @@ CTX_SEND_RE = re.compile(r"\b(?:c|ctx)\s*\.\s*send\s*\(")
 MEMBER_SEND_RE = re.compile(r"(?:\.|->)\s*send\s*\(")
 SEND_PARCEL_AT_RE = re.compile(r"\bsend_parcel_at\s*\(")
 INVOKE_AT_RE = re.compile(r"\binvoke_action_at\s*\(")
+# World::apply(ctx, gva, action, args): address-located invoke — the
+# parcel dispatches the action at whichever node owns the GVA.
+APPLY_AT_RE = re.compile(r"(?<![\w.>:])apply\s*\(")
 BARE_SEND_RE = re.compile(r"(?<![\w.>:])send\s*\(")
 
 # Argument names that just forward an ActionId through plumbing; they
@@ -296,6 +299,8 @@ def collect_send_sites(prog: list):
             sites.append((m.end() - 1, 3, "send_parcel_at"))
         for m in INVOKE_AT_RE.finditer(f.code):
             sites.append((m.end() - 1, 2, "invoke_action_at"))
+        for m in APPLY_AT_RE.finditer(f.code):
+            sites.append((m.end() - 1, 2, "apply"))
         strong_opens = {s[0] for s in sites}
         for m in MEMBER_SEND_RE.finditer(f.code):
             open_idx = m.end() - 1
